@@ -1,0 +1,12 @@
+"""Ablation: proactive vs on-demand credits; grant-ramp shape (§IV)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_credits(benchmark):
+    rows = run_once(benchmark, ablations.run_credit_ablation)
+    ablations.check_credit_ablation(rows)
+    ablations.render_rows(rows, "Ablation — credit flow control (ANI WAN)").print()
+    for r in rows:
+        benchmark.extra_info[r.label] = round(r.gbps, 2)

@@ -1,0 +1,12 @@
+"""Ablation: number of parallel data-channel QPs (§IV-A)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_parallel_qp(benchmark):
+    rows = run_once(benchmark, ablations.run_qp_ablation)
+    ablations.check_qp_ablation(rows)
+    ablations.render_rows(rows, "Ablation — parallel data QPs (RoCE LAN)").print()
+    for r in rows:
+        benchmark.extra_info[r.label] = round(r.gbps, 2)

@@ -1,0 +1,67 @@
+"""Extension bench: one middleware, three RDMA architectures (Figure 1).
+
+The paper's design goal is transparency across InfiniBand, RoCE and
+iWARP via the common verbs API.  This bench runs the identical fio WRITE
+workload over all three architecture profiles and shows the expected
+ordering of software overhead (IB < RoCE < iWARP CPU per operation)
+while each fabric saturates its own bare metal.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import Table
+from repro.apps.fio import FioJob, run_fio
+from repro.testbeds import TESTBEDS
+
+
+def _run():
+    rows = []
+    for name in ("infiniband-lan", "roce-lan", "iwarp-lan"):
+        tb = TESTBEDS[name]()
+        result = run_fio(
+            tb,
+            FioJob(semantics="write", block_size=128 << 10, iodepth=16,
+                   total_blocks=1200),
+        )
+        rows.append(
+            {
+                "testbed": name,
+                "bare_metal": tb.bare_metal_gbps,
+                "gbps": result.gbps,
+                "cpu_pct": result.src_cpu_pct,
+                # CPU seconds per gigabyte moved: the architecture's
+                # software overhead, normalised for fabric speed.
+                "cpu_s_per_gb": result.src_cpu_pct / 100.0 * result.elapsed
+                / (result.bytes / 1e9),
+            }
+        )
+    return rows
+
+
+def test_arch_comparison(benchmark):
+    rows = run_once(benchmark, _run)
+    table = Table(
+        "Extension — one middleware, three RDMA architectures",
+        ["testbed", "bare metal Gbps", "Gbps", "cpu%", "cpu s/GB"],
+    )
+    by = {}
+    for r in rows:
+        table.add_row(
+            r["testbed"],
+            f"{r['bare_metal']:g}",
+            f"{r['gbps']:.2f}",
+            f"{r['cpu_pct']:.1f}",
+            f"{r['cpu_s_per_gb'] * 1e3:.3f}m",
+        )
+        by[r["testbed"]] = r
+    table.print()
+    # Every fabric saturates its own ceiling...
+    for r in rows:
+        assert r["gbps"] > 0.9 * r["bare_metal"]
+    # ...and per-byte-moved software cost orders IB < RoCE < iWARP.
+    assert (
+        by["infiniband-lan"]["cpu_s_per_gb"]
+        < by["roce-lan"]["cpu_s_per_gb"]
+        < by["iwarp-lan"]["cpu_s_per_gb"]
+    )
+    for r in rows:
+        benchmark.extra_info[r["testbed"]] = round(r["gbps"], 2)

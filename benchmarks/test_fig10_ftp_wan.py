@@ -1,0 +1,12 @@
+"""Figure 10: GridFTP vs RFTP over the ANI WAN (10G RoCE, 49 ms)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_wan_ftp as exp
+
+
+def test_fig10_ftp_wan(benchmark):
+    points = run_once(benchmark, exp.run)
+    exp.check(points)
+    exp.render(points).print()
+    for p in points:
+        benchmark.extra_info[f"{p.tool}_{p.streams}st_gbps"] = round(p.gbps, 2)

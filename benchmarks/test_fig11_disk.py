@@ -1,0 +1,12 @@
+"""Figure 11: RFTP memory-to-memory vs memory-to-disk."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_disk as exp
+
+
+def test_fig11_disk(benchmark):
+    points = run_once(benchmark, exp.run)
+    exp.check(points)
+    exp.render(points).print()
+    for p in points:
+        benchmark.extra_info[f"{p.mode}_gbps"] = round(p.gbps, 2)

@@ -1,0 +1,50 @@
+"""Extension bench: Figure 1's stack choices quantified.
+
+Native verbs (the paper's middleware) vs SDP vs IPoIB for the identical
+bulk transfer — reproducing the §II claim that socket-compatibility
+layers "introduce additional overhead and performance penalties
+compared to the native RDMA IB verbs" [15].
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import Table
+from repro.apps.rftp import run_rftp
+from repro.apps.sockets import socket_transfer
+from repro.core import ProtocolConfig
+from repro.testbeds import roce_lan
+
+TOTAL = 512 << 20
+
+
+def _run():
+    rows = []
+    ipoib = socket_transfer(roce_lan(), TOTAL, "ipoib")
+    rows.append(("ipoib", ipoib.gbps, ipoib.client_cpu_pct, ipoib.server_cpu_pct))
+    sdp = socket_transfer(roce_lan(), TOTAL, "sdp")
+    rows.append(("sdp", sdp.gbps, sdp.client_cpu_pct, sdp.server_cpu_pct))
+    native = run_rftp(
+        roce_lan(),
+        TOTAL,
+        ProtocolConfig(
+            block_size=1 << 20, num_channels=4, source_blocks=32, sink_blocks=32
+        ),
+    )
+    rows.append(
+        ("native verbs (RFTP)", native.gbps, native.client_cpu_pct, native.server_cpu_pct)
+    )
+    return rows
+
+
+def test_fig1_socket_middlewares(benchmark):
+    rows = run_once(benchmark, _run)
+    table = Table(
+        "Extension — Fig. 1 stack choices on the RoCE LAN",
+        ["stack", "Gbps", "client cpu%", "server cpu%"],
+    )
+    for name, gbps, ccpu, scpu in rows:
+        table.add_row(name, f"{gbps:.2f}", f"{ccpu:.0f}", f"{scpu:.0f}")
+    table.print()
+    by = {name: gbps for name, gbps, *_ in rows}
+    assert by["native verbs (RFTP)"] > by["sdp"] > by["ipoib"]
+    for name, gbps, *_ in rows:
+        benchmark.extra_info[name] = round(gbps, 2)

@@ -1,0 +1,13 @@
+"""Figure 3: RDMA semantics over the 40G RoCE LAN (bandwidth + CPU)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_fig4_semantics as exp
+from repro.testbeds import roce_lan
+
+
+def test_fig3_semantics_roce(benchmark):
+    points = run_once(benchmark, exp.run, roce_lan)
+    exp.check(points, line_rate_gbps=40.0)
+    exp.render(points, "Fig. 3 — RDMA semantics, RoCE LAN (40G)").print()
+    peak = max(p.gbps for p in points)
+    benchmark.extra_info["peak_gbps"] = round(peak, 2)

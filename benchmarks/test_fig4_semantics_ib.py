@@ -1,0 +1,15 @@
+"""Figure 4: RDMA semantics over the InfiniBand LAN (PCIe-capped)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_fig4_semantics as exp
+from repro.testbeds import infiniband_lan
+
+
+def test_fig4_semantics_ib(benchmark):
+    points = run_once(benchmark, exp.run, infiniband_lan)
+    # Bare metal here is the PCIe 2.0 x8 slot (~25.6G), not the 40G link.
+    exp.check(points, line_rate_gbps=25.6)
+    exp.render(points, "Fig. 4 — RDMA semantics, InfiniBand LAN (40G link, 25.6G PCIe)").print()
+    peak = max(p.gbps for p in points)
+    assert peak <= 25.6
+    benchmark.extra_info["peak_gbps"] = round(peak, 2)

@@ -1,0 +1,15 @@
+"""Figure 8: GridFTP vs RFTP over RoCE in the LAN."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_fig9_lan_ftp as exp
+from repro.testbeds import roce_lan
+
+
+def test_fig8_ftp_roce_lan(benchmark):
+    points = run_once(benchmark, exp.run, roce_lan)
+    exp.check(points, bare_metal_gbps=40.0)
+    exp.render(points, "Fig. 8 — GridFTP vs RFTP, RoCE LAN (40G)").print()
+    rftp_peak = max(p.gbps for p in points if p.tool == "rftp")
+    grid_peak = max(p.gbps for p in points if p.tool == "gridftp")
+    benchmark.extra_info["rftp_peak_gbps"] = round(rftp_peak, 2)
+    benchmark.extra_info["gridftp_peak_gbps"] = round(grid_peak, 2)

@@ -1,0 +1,14 @@
+"""Figure 9: GridFTP vs RFTP over InfiniBand in the LAN."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_fig9_lan_ftp as exp
+from repro.testbeds import infiniband_lan
+
+
+def test_fig9_ftp_ib_lan(benchmark):
+    points = run_once(benchmark, exp.run, infiniband_lan)
+    exp.check(points, bare_metal_gbps=25.6)
+    exp.render(points, "Fig. 9 — GridFTP vs RFTP, InfiniBand LAN (25.6G bare metal)").print()
+    rftp_peak = max(p.gbps for p in points if p.tool == "rftp")
+    assert rftp_peak <= 25.6
+    benchmark.extra_info["rftp_peak_gbps"] = round(rftp_peak, 2)

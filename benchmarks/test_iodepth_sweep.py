@@ -1,0 +1,12 @@
+"""Ablation: I/O depth sweep (§III-B: 'post multiple I/O tasks in flight')."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_iodepth_sweep(benchmark):
+    rows = run_once(benchmark, ablations.run_iodepth_sweep)
+    ablations.check_iodepth_sweep(rows)
+    ablations.render_rows(rows, "Ablation — I/O depth (RDMA WRITE, 128K, RoCE LAN)").print()
+    for r in rows:
+        benchmark.extra_info[r.label] = round(r.gbps, 2)

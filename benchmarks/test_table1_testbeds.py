@@ -1,0 +1,11 @@
+"""Table I: testbed description, regenerated from the encodings."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_testbeds
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_testbeds.run)
+    table1_testbeds.check(rows)
+    table1_testbeds.render(rows).print()
+    benchmark.extra_info["testbeds"] = sorted(rows)

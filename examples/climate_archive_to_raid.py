@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Archiving a climate-model output stream to a remote RAID array.
+
+The paper's memory-to-disk scenario (Figure 11): a site receives a
+10 Gbps WAN stream and must land it on spinning storage without the
+file system becoming the bottleneck.  RFTP's answer is direct I/O —
+this example contrasts it with POSIX buffered writes and shows the
+disk staying out of the critical path.
+
+Run:
+    python examples/climate_archive_to_raid.py
+"""
+
+from repro.apps.io import DiskSink, NullSink
+from repro.apps.rftp import run_rftp
+from repro.core import ProtocolConfig
+from repro.testbeds import ani_wan
+
+DATASET = 4 << 30  # one model-month of output
+
+
+def config() -> ProtocolConfig:
+    return ProtocolConfig(
+        block_size=4 << 20,
+        num_channels=4,
+        source_blocks=48,
+        sink_blocks=48,
+        writer_threads=4,  # overlap the RAID lanes
+    )
+
+
+def main() -> None:
+    runs = []
+
+    tb = ani_wan()
+    mem = run_rftp(tb, DATASET, config(), sink=NullSink(tb.dst))
+    runs.append(("memory-to-memory (/dev/null)", mem))
+
+    tb = ani_wan()
+    direct = run_rftp(tb, DATASET, config(), sink=DiskSink(tb.dst, direct=True))
+    runs.append(("memory-to-disk, direct I/O (RFTP's mode)", direct))
+
+    tb = ani_wan()
+    posix = run_rftp(tb, DATASET, config(), sink=DiskSink(tb.dst, direct=False))
+    runs.append(("memory-to-disk, POSIX buffered", posix))
+
+    width = max(len(label) for label, _ in runs)
+    print(f"{'configuration':<{width}}  {'Gbps':>6}  {'server CPU%':>11}")
+    for label, r in runs:
+        print(f"{label:<{width}}  {r.gbps:6.2f}  {r.server_cpu_pct:11.0f}")
+
+    print(
+        "\nWith direct I/O the RAID absorbs the full WAN stream at the same"
+        f" bandwidth as /dev/null ({direct.gbps:.2f} vs {mem.gbps:.2f} Gbps)"
+        " — the page-cache copy that POSIX writes burn on the writer"
+        " threads is the cost RFTP avoids."
+    )
+
+
+if __name__ == "__main__":
+    main()

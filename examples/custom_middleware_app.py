@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Programming the middleware API directly (not through RFTP).
+
+Shows what an application built on the middleware looks like: a custom
+data source that synthesises verifiable payloads (a checksum stream)
+and a custom sink that validates every delivered block — exercising the
+paper's application contract: ``get_free_blk``/``put_free_blk`` at the
+source and in-order ``get_ready_blk`` delivery at the sink, all hidden
+behind ``RdmaMiddleware``.
+
+Run:
+    python examples/custom_middleware_app.py
+"""
+
+import zlib
+
+from repro.core import ProtocolConfig, RdmaMiddleware
+from repro.testbeds import roce_lan
+
+
+class ChecksummedSource:
+    """Generates blocks whose payload carries a CRC of its identity."""
+
+    def __init__(self, host):
+        self.host = host
+        self.bytes_read = 0
+
+    def read(self, thread, nbytes, seq):
+        # Loading costs memset-like CPU per byte, like any real producer.
+        yield thread.exec(nbytes * self.host.spec.memset_ns_per_byte * 1e-9)
+        self.bytes_read += nbytes
+        crc = zlib.crc32(f"{seq}:{nbytes}".encode())
+        return {"seq": seq, "nbytes": nbytes, "crc": crc}
+
+
+class ValidatingSink:
+    """Verifies CRC and in-order arrival of every block."""
+
+    def __init__(self, host):
+        self.host = host
+        self.bytes_written = 0
+        self.next_seq = 0
+        self.errors = 0
+
+    def write(self, thread, nbytes, header, payload):
+        yield thread.exec(self.host.spec.syscall_seconds)
+        expected = zlib.crc32(f"{header.seq}:{nbytes}".encode())
+        if payload["crc"] != expected or header.seq != self.next_seq:
+            self.errors += 1
+        self.next_seq += 1
+        self.bytes_written += nbytes
+
+
+def main() -> None:
+    tb = roce_lan()
+    config = ProtocolConfig(
+        block_size=1 << 20,
+        num_channels=4,  # out-of-order arrival, in-order delivery
+        source_blocks=16,
+        sink_blocks=16,
+    )
+
+    server = RdmaMiddleware(tb.dst, tb.dst_dev, tb.cm, config)
+    sink = ValidatingSink(tb.dst)
+    server.serve(4217, sink)
+
+    client = RdmaMiddleware(tb.src, tb.src_dev, tb.cm, config)
+    source = ChecksummedSource(tb.src)
+    done = client.transfer(tb.dst_dev, 4217, source, total_bytes=256 << 20)
+
+    tb.engine.run()
+    outcome = done.value
+
+    print(f"transferred {outcome.bytes >> 20} MiB in {outcome.blocks} blocks "
+          f"over {config.num_channels} QPs at {outcome.gbps:.2f} Gbps")
+    print(f"validation errors: {sink.errors} (reassembly delivered every "
+          "block in order, checksums intact)")
+    print(f"credit ledger peak: {outcome.peak_credits}; "
+          f"control messages: {outcome.ctrl_sent}+{outcome.ctrl_received}")
+
+    assert sink.errors == 0
+    assert sink.bytes_written == outcome.bytes
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: one RFTP transfer over the 40 Gbps RoCE LAN testbed.
+
+Builds the paper's Stony Brook back-to-back testbed, starts an RFTP
+server on the sink host, pushes 1 GB of memory-to-memory data through
+the RDMA middleware, and prints bandwidth, CPU, and protocol statistics.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.apps.rftp import run_rftp
+from repro.core import ProtocolConfig
+from repro.testbeds import roce_lan
+
+
+def main() -> None:
+    testbed = roce_lan()
+    config = ProtocolConfig(
+        block_size=4 << 20,  # 4 MiB payload blocks
+        num_channels=4,  # parallel data-channel queue pairs
+        source_blocks=32,  # registered blocks in flight at the source
+        sink_blocks=32,  # credits the sink can hand out
+    )
+
+    result = run_rftp(testbed, total_bytes=1 << 30, config=config)
+
+    outcome = result.outcome
+    print(f"testbed        : {testbed.name} ({testbed.nic_gbps:g} Gbps link)")
+    print(f"transferred    : {outcome.bytes / 2**30:.1f} GiB in {result.elapsed:.3f} s")
+    print(f"goodput        : {result.gbps:.2f} Gbps "
+          f"({100 * result.gbps / testbed.bare_metal_gbps:.0f}% of bare metal)")
+    print(f"client CPU     : {result.client_cpu_pct:.0f}% of one core")
+    print(f"server CPU     : {result.server_cpu_pct:.0f}% of one core "
+          "(one-sided RDMA WRITE: the sink never touches the data path)")
+    print(f"blocks         : {outcome.blocks} x {config.block_size >> 20} MiB")
+    print(f"control msgs   : {outcome.ctrl_sent} sent / {outcome.ctrl_received} received")
+    print(f"credit requests: {outcome.mr_requests} (proactive feedback keeps this low)")
+    print(f"RNR NAKs       : {outcome.rnr_naks} (flow control must keep this at zero)")
+
+    assert result.gbps > 0.9 * testbed.bare_metal_gbps
+    assert outcome.rnr_naks == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Explore raw RDMA semantics with the fio-style engine (§III-B).
+
+Sweeps block size and I/O depth for RDMA WRITE / READ / SEND-RECV on
+any of the three testbeds and prints the bandwidth/CPU/latency grid the
+paper uses to justify its hybrid WRITE+SEND design.
+
+Run:
+    python examples/semantics_explorer.py                 # RoCE LAN
+    python examples/semantics_explorer.py infiniband-lan
+    python examples/semantics_explorer.py ani-wan         # watch READ die
+"""
+
+import sys
+
+from repro.apps.fio import FioJob, run_fio
+from repro.testbeds import TESTBEDS
+
+BLOCK_SIZES = (16 << 10, 128 << 10, 1 << 20)
+IODEPTHS = (1, 16)
+SEMANTICS = ("write", "read", "send")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "roce-lan"
+    if name not in TESTBEDS:
+        raise SystemExit(f"unknown testbed {name!r}; pick from {sorted(TESTBEDS)}")
+
+    print(f"testbed: {name}")
+    print(f"{'depth':>5} {'semantics':>9} {'block':>7} {'Gbps':>7} "
+          f"{'src CPU%':>8} {'dst CPU%':>8} {'lat us':>9}")
+    for iodepth in IODEPTHS:
+        for semantics in SEMANTICS:
+            for block_size in BLOCK_SIZES:
+                tb = TESTBEDS[name]()
+                blocks = max(iodepth * 8, min(1500, (96 << 20) // block_size))
+                r = run_fio(
+                    tb,
+                    FioJob(
+                        semantics=semantics,
+                        block_size=block_size,
+                        iodepth=iodepth,
+                        total_blocks=blocks,
+                    ),
+                )
+                print(
+                    f"{iodepth:>5} {semantics:>9} {block_size >> 10:>6}K "
+                    f"{r.gbps:7.2f} {r.src_cpu_pct:8.1f} {r.dst_cpu_pct:8.1f} "
+                    f"{r.lat_mean_us:9.1f}"
+                )
+
+    print(
+        "\nReadings: depth 1 leaves the pipe idle; WRITE/SEND saturate from"
+        " ~16K blocks at depth 16 while READ trails (responder read engine);"
+        " SEND burns CPU at BOTH ends; on the WAN, READ collapses to"
+        " ORD*block/RTT — the findings behind the paper's hybrid design."
+    )
+
+
+if __name__ == "__main__":
+    main()

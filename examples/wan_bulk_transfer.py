@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Inter-data-center bulk replication over the ANI WAN (the paper's
+motivating workload: moving DOE science data between ANL and NERSC,
+2000 miles / 49 ms apart, over 10 Gbps RoCE).
+
+Compares the paper's RFTP against the GridFTP baseline with 1 and 8
+streams — the Figure 10 experiment — and shows *why* RFTP wins: the
+proactive credit ramp fills the 61 MB bandwidth-delay product without
+ever paying a request round trip.
+
+Run:
+    python examples/wan_bulk_transfer.py
+"""
+
+from repro.apps.gridftp import run_gridftp
+from repro.apps.rftp import run_rftp
+from repro.core import ProtocolConfig
+from repro.testbeds import ani_wan
+
+DATASET = 8 << 30  # 8 GiB of simulated experiment output
+
+
+def main() -> None:
+    tb = ani_wan()
+    print(f"path: {tb.src.name} -> {tb.dst.name}, {tb.nic_gbps:g} Gbps, "
+          f"RTT {tb.rtt * 1e3:.0f} ms, BDP {tb.bdp_bytes / 2**20:.1f} MiB")
+    print(f"dataset: {DATASET / 2**30:.0f} GiB memory-to-memory\n")
+
+    rows = []
+    for streams in (1, 8):
+        g = run_gridftp(ani_wan(), DATASET, streams=streams, block_size=4 << 20)
+        rows.append((f"GridFTP ({streams} stream{'s' if streams > 1 else ''})",
+                     g.gbps, g.client_cpu_pct, f"{g.losses} TCP losses"))
+
+    config = ProtocolConfig(
+        block_size=4 << 20,
+        num_channels=4,
+        # Credits take two one-way trips to recycle (data out, BLOCK_DONE
+        # + grant back), so the pool covers ~2 BDP of flight.
+        source_blocks=48,
+        sink_blocks=48,
+    )
+    r = run_rftp(ani_wan(), DATASET, config)
+    rows.append(("RFTP (RDMA WRITE)", r.gbps, r.client_cpu_pct,
+                 f"peak credits {r.outcome.peak_credits}, "
+                 f"{r.outcome.mr_requests} credit requests"))
+
+    width = max(len(label) for label, *_ in rows)
+    print(f"{'tool':<{width}}  {'Gbps':>6}  {'CPU%':>6}  notes")
+    for label, gbps, cpu, notes in rows:
+        print(f"{label:<{width}}  {gbps:6.2f}  {cpu:6.0f}  {notes}")
+
+    rftp_gbps = rows[-1][1]
+    print(f"\nRFTP reaches {100 * rftp_gbps / tb.nic_gbps:.0f}% of the 10G circuit;"
+          " GridFTP pays for every congestion event with a multi-second"
+          " cubic recovery.")
+
+
+if __name__ == "__main__":
+    main()

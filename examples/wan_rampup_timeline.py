@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Ramp-up timelines: how fast each protocol fills the 10G WAN pipe.
+
+Samples instantaneous goodput in half-second windows for RFTP and for
+single-stream GridFTP on the ANI testbed and prints text sparklines.
+RFTP's credit slow-start fills the pipe within a few round trips and
+holds it there; cubic climbs, overshoots, gets cut, and spends seconds
+rebuilding — the dynamics behind the Figure 10 averages.
+
+Run:
+    python examples/wan_rampup_timeline.py
+"""
+
+from repro.apps.gridftp import GridFtpPair
+from repro.apps.io import CollectingSink, PatternSource, ZeroSource
+from repro.core import ProtocolConfig, RdmaMiddleware
+from repro.testbeds import ani_wan
+
+DATASET = 8 << 30
+WINDOW = 0.5  # seconds per sample
+LINE_GBPS = 10.0
+
+
+def sample_rftp():
+    tb = ani_wan()
+    cfg = ProtocolConfig(
+        block_size=4 << 20, num_channels=4, source_blocks=48, sink_blocks=48
+    )
+    server = RdmaMiddleware(tb.dst, tb.dst_dev, tb.cm, cfg)
+    sink = CollectingSink(tb.dst)
+    server.serve(2811, sink)
+    client = RdmaMiddleware(tb.src, tb.src_dev, tb.cm, cfg)
+    client.transfer(tb.dst_dev, 2811, PatternSource(tb.src), DATASET)
+    return _sample(tb, lambda: sink.bytes_written)
+
+
+def sample_gridftp():
+    tb = ani_wan()
+    pair = GridFtpPair(tb, streams=1, block_size=4 << 20,
+                       source=ZeroSource(tb.src))
+    pair.start(DATASET)
+    delivered = pair.conns[0].bytes_delivered
+    return _sample(tb, lambda: delivered.total)
+
+
+def _sample(tb, progress):
+    samples = []
+    last = 0.0
+    while True:
+        horizon = tb.engine.now + WINDOW
+        tb.engine.run(until=horizon)
+        now_bytes = progress()
+        samples.append((now_bytes - last) * 8 / WINDOW / 1e9)
+        last = now_bytes
+        if now_bytes >= DATASET or tb.engine.peek() == float("inf"):
+            break
+    return samples
+
+
+def sparkline(samples):
+    blocks = " ▁▂▃▄▅▆▇█"
+    return "".join(
+        blocks[min(int(s / LINE_GBPS * (len(blocks) - 1)), len(blocks) - 1)]
+        for s in samples
+    )
+
+
+def main() -> None:
+    rftp = sample_rftp()
+    grid = sample_gridftp()
+    width = max(len(rftp), len(grid))
+    print(f"instantaneous goodput, {WINDOW:.1f}s windows, full bar = {LINE_GBPS:g} Gbps\n")
+    print(f"RFTP    |{sparkline(rftp):<{width}}| done in {len(rftp) * WINDOW:.1f}s "
+          f"(avg {sum(rftp) / len(rftp):.1f} Gbps)")
+    print(f"GridFTP |{sparkline(grid):<{width}}| done in {len(grid) * WINDOW:.1f}s "
+          f"(avg {sum(grid) / len(grid):.1f} Gbps)")
+    print("\nRFTP reaches line rate within the first window (credit doubling"
+          " covers the BDP in ~5 RTT = 0.25s); GridFTP's dips are cubic's"
+          " multiplicative decreases after loss events.")
+
+
+if __name__ == "__main__":
+    main()

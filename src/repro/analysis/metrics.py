@@ -1,0 +1,54 @@
+"""Bandwidth meters and latency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence
+
+import numpy as np
+
+from repro.sim.monitor import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["BandwidthMeter", "summarize_latencies"]
+
+
+class BandwidthMeter:
+    """Records byte completions and reports windowed rates."""
+
+    def __init__(self, engine: "Engine", name: str = "bw") -> None:
+        self.engine = engine
+        self.series = TimeSeries(name)
+        self._started = engine.now
+
+    def record(self, nbytes: float) -> None:
+        self.series.record(self.engine.now, nbytes)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(np.sum(self.series.values)) if len(self.series) else 0.0
+
+    def gbps(self, since: float = 0.0) -> float:
+        """Average rate in Gbps from ``since`` until now."""
+        span = self.engine.now - max(since, self._started)
+        if span <= 0:
+            return 0.0
+        times = self.series.times
+        mask = times >= since
+        return float(np.sum(self.series.values[mask]) * 8.0 / span / 1e9)
+
+
+def summarize_latencies(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p90 / p99 / max of a latency sample, in microseconds."""
+    if len(latencies_s) == 0:
+        return {k: float("nan") for k in ("mean", "p50", "p90", "p99", "max")}
+    us = np.asarray(latencies_s) * 1e6
+    return {
+        "mean": float(us.mean()),
+        "p50": float(np.percentile(us, 50)),
+        "p90": float(np.percentile(us, 90)),
+        "p99": float(np.percentile(us, 99)),
+        "max": float(us.max()),
+    }

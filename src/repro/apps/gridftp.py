@@ -1,0 +1,159 @@
+"""A behavioural model of GridFTP (globus-url-copy, MODE E, threaded
+flavour) — the paper's baseline.
+
+What the paper's ``strace`` analysis found, and what this model encodes:
+GridFTP "only used a single thread to handle regular file operations,
+such as reading and writing data, and also network events, such as
+multiplexing, sending and receiving data".  So:
+
+- the **client** runs ONE application thread that, for every block,
+  loads data (memset for /dev/zero) *and* pays the user→kernel copy and
+  syscall of ``send()`` — across however many parallel TCP streams are
+  configured (MODE E stripes blocks round-robin);
+- the **server** runs ONE application thread that multiplexes
+  ``recv()`` across the streams and writes to the sink (POSIX I/O — the
+  paper notes GridFTP had no direct-I/O support);
+- the kernel's per-byte TCP costs land on other cores (charged as
+  background), which is why total host CPU exceeds 100 % while goodput
+  is capped by the one application core.
+
+Authentication is off (as in the paper's runs) and the control channel
+is not modelled — it is idle during a transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.apps.io import NullSink, ZeroSource
+from repro.sim.events import Event
+from repro.tcp import TcpConnection
+from repro.testbeds import Testbed
+
+__all__ = ["GridFtpPair", "GridFtpResult", "run_gridftp"]
+
+#: MODE E extended-block header (descriptor + count + offset), bytes.
+MODE_E_HEADER = 17
+
+
+@dataclass(frozen=True)
+class GridFtpResult:
+    """One completed GridFTP run."""
+
+    bytes: int
+    elapsed: float
+    gbps: float
+    #: Client host CPU, percent of one core — application + kernel.
+    client_cpu_pct: float
+    server_cpu_pct: float
+    #: Application-thread-only utilisation (capped at 100 by construction).
+    client_app_cpu_pct: float
+    server_app_cpu_pct: float
+    streams: int
+    block_size: int
+    losses: int
+
+
+class GridFtpPair:
+    """A client/server GridFTP transfer over N parallel TCP streams."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        streams: int = 1,
+        block_size: int = 1 << 20,
+        cc: Optional[str] = None,
+        source: Any = None,
+        sink: Any = None,
+    ) -> None:
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        if block_size < 4096:
+            raise ValueError("block size below 4 KiB is not realistic")
+        self.testbed = testbed
+        self.streams = streams
+        self.block_size = block_size
+        self.source = source if source is not None else ZeroSource(testbed.src)
+        self.sink = sink if sink is not None else NullSink(testbed.dst)
+        self.conns: List[TcpConnection] = [
+            testbed.tcp_connection(cc=cc) for _ in range(streams)
+        ]
+        self.done: Event = Event(testbed.engine)
+        self._received = 0
+
+    # -- the two single-threaded event loops --------------------------------------
+    def _client_loop(self, total_bytes: int) -> Generator:
+        thread = self.testbed.src.thread("gridftp-client", "app")
+        sent = 0
+        seq = 0
+        while sent < total_bytes:
+            nbytes = min(self.block_size, total_bytes - sent)
+            # Read from the data source (on THIS thread: the strace
+            # finding), then send on the next stream round-robin.
+            yield from self.source.read(thread, nbytes, seq)
+            conn = self.conns[seq % self.streams]
+            yield from conn.send(thread, nbytes + MODE_E_HEADER)
+            sent += nbytes
+            seq += 1
+
+    def _server_loop(self, total_bytes: int) -> Generator:
+        thread = self.testbed.dst.thread("gridftp-server", "app")
+        received = 0
+        seq = 0
+        while received < total_bytes:
+            nbytes = min(self.block_size, total_bytes - received)
+            conn = self.conns[seq % self.streams]
+            # recv() the block (blocking; sender round-robins identically
+            # so this matches a select() loop's service order), then write
+            # to the sink on the same thread.
+            yield from conn.recv(thread, nbytes + MODE_E_HEADER)
+            yield from self.sink.write(thread, nbytes, None, None)
+            received += nbytes
+            seq += 1
+        self._received = received
+        self.done.succeed(received)
+
+    def start(self, total_bytes: int) -> Event:
+        """Launch both loops; returns the completion event."""
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        engine = self.testbed.engine
+        engine.process(self._client_loop(total_bytes))
+        engine.process(self._server_loop(total_bytes))
+        return self.done
+
+
+def run_gridftp(
+    testbed: Testbed,
+    total_bytes: int,
+    streams: int = 1,
+    block_size: int = 1 << 20,
+    cc: Optional[str] = None,
+    source: Any = None,
+    sink: Any = None,
+) -> GridFtpResult:
+    """Run one GridFTP transfer to completion and measure it."""
+    pair = GridFtpPair(testbed, streams, block_size, cc, source, sink)
+    testbed.src.cpu.reset_accounting()
+    testbed.dst.cpu.reset_accounting()
+    start = testbed.engine.now
+    done = pair.start(total_bytes)
+    testbed.engine.run()
+    if not done.triggered:
+        raise RuntimeError("GridFTP transfer did not complete")
+    elapsed = testbed.engine.now - start
+    for conn in pair.conns:
+        conn.close()
+    return GridFtpResult(
+        bytes=total_bytes,
+        elapsed=elapsed,
+        gbps=total_bytes * 8.0 / elapsed / 1e9,
+        client_cpu_pct=testbed.src.cpu.utilization_pct(),
+        server_cpu_pct=testbed.dst.cpu.utilization_pct(),
+        client_app_cpu_pct=testbed.src.cpu.utilization_pct("app"),
+        server_app_cpu_pct=testbed.dst.cpu.utilization_pct("app"),
+        streams=streams,
+        block_size=block_size,
+        losses=sum(conn.cc.losses for conn in pair.conns),
+    )

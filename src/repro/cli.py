@@ -1,0 +1,232 @@
+"""Command-line interface: run transfers, sweeps, and paper figures.
+
+Examples
+--------
+::
+
+    python -m repro testbeds
+    python -m repro rftp --testbed ani-wan --bytes 8G --block-size 4M --channels 4 --pool 48
+    python -m repro gridftp --testbed ani-wan --bytes 8G --streams 8
+    python -m repro fio --testbed roce-lan --semantics read --block-size 64K --iodepth 16
+    python -m repro figure 10
+    python -m repro ablation credits
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.fio import FioJob, run_fio
+from repro.apps.gridftp import run_gridftp
+from repro.apps.io import DiskSink
+from repro.apps.rftp import run_rftp
+from repro.core import ProtocolConfig
+from repro.testbeds import TESTBEDS
+
+__all__ = ["main", "parse_size"]
+
+_UNITS = {"": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def parse_size(text: str) -> int:
+    """Parse '4M', '512K', '8G', '1048576' into bytes."""
+    text = text.strip().upper().removesuffix("B").removesuffix("I")
+    if not text:
+        raise ValueError("empty size")
+    unit = text[-1] if text[-1] in _UNITS and not text[-1].isdigit() else ""
+    number = text[: len(text) - len(unit)]
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    result = int(value * _UNITS[unit])
+    if result <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return result
+
+
+def _add_testbed_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--testbed",
+        choices=sorted(TESTBEDS),
+        default="roce-lan",
+        help="which Table I testbed to build (default: roce-lan)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_testbeds(args: argparse.Namespace) -> int:
+    from repro.experiments import table1_testbeds
+
+    rows = table1_testbeds.run()
+    table1_testbeds.render(rows).print()
+    return 0
+
+
+def _cmd_rftp(args: argparse.Namespace) -> int:
+    tb = TESTBEDS[args.testbed](seed=args.seed, with_disk=args.disk)
+    config = ProtocolConfig(
+        block_size=parse_size(args.block_size),
+        num_channels=args.channels,
+        source_blocks=args.pool,
+        sink_blocks=args.pool,
+        proactive_credits=not args.on_demand_credits,
+    )
+    sink = DiskSink(tb.dst, direct=not args.posix) if args.disk else None
+    result = run_rftp(tb, parse_size(args.bytes), config, sink=sink)
+    o = result.outcome
+    print(f"{result.gbps:.2f} Gbps over {tb.name} "
+          f"({100 * result.gbps / tb.bare_metal_gbps:.0f}% of bare metal)")
+    print(f"client CPU {result.client_cpu_pct:.0f}%  "
+          f"server CPU {result.server_cpu_pct:.0f}%")
+    print(f"blocks {o.blocks}  resends {o.resends}  "
+          f"credit requests {o.mr_requests}  peak credits {o.peak_credits}  "
+          f"RNR NAKs {o.rnr_naks}")
+    return 0
+
+
+def _cmd_gridftp(args: argparse.Namespace) -> int:
+    tb = TESTBEDS[args.testbed](seed=args.seed)
+    result = run_gridftp(
+        tb,
+        parse_size(args.bytes),
+        streams=args.streams,
+        block_size=parse_size(args.block_size),
+        cc=args.cc,
+    )
+    print(f"{result.gbps:.2f} Gbps over {tb.name} with {args.streams} stream(s)")
+    print(f"client CPU {result.client_cpu_pct:.0f}% "
+          f"(app thread {result.client_app_cpu_pct:.0f}%)  "
+          f"server CPU {result.server_cpu_pct:.0f}%  "
+          f"TCP losses {result.losses}")
+    return 0
+
+
+def _cmd_fio(args: argparse.Namespace) -> int:
+    tb = TESTBEDS[args.testbed](seed=args.seed)
+    result = run_fio(
+        tb,
+        FioJob(
+            semantics=args.semantics,
+            block_size=parse_size(args.block_size),
+            iodepth=args.iodepth,
+            total_blocks=args.blocks,
+        ),
+    )
+    print(f"{result.gbps:.2f} Gbps  "
+          f"src CPU {result.src_cpu_pct:.1f}%  dst CPU {result.dst_cpu_pct:.1f}%")
+    print(f"latency us: mean {result.lat_mean_us:.1f}  "
+          f"p50 {result.lat_p50_us:.1f}  p99 {result.lat_p99_us:.1f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig3_fig4_semantics,
+        fig8_fig9_lan_ftp,
+        fig10_wan_ftp,
+        fig11_disk,
+    )
+    from repro.testbeds import infiniband_lan, roce_lan
+
+    fig = args.number
+    if fig == 3:
+        points = fig3_fig4_semantics.run(roce_lan)
+        fig3_fig4_semantics.render(points, "Fig. 3 — RDMA semantics, RoCE LAN").print()
+    elif fig == 4:
+        points = fig3_fig4_semantics.run(infiniband_lan)
+        fig3_fig4_semantics.render(points, "Fig. 4 — RDMA semantics, InfiniBand LAN").print()
+    elif fig == 8:
+        points = fig8_fig9_lan_ftp.run(roce_lan)
+        fig8_fig9_lan_ftp.render(points, "Fig. 8 — GridFTP vs RFTP, RoCE LAN").print()
+    elif fig == 9:
+        points = fig8_fig9_lan_ftp.run(infiniband_lan)
+        fig8_fig9_lan_ftp.render(points, "Fig. 9 — GridFTP vs RFTP, InfiniBand LAN").print()
+    elif fig == 10:
+        fig10_wan_ftp.render(fig10_wan_ftp.run()).print()
+    elif fig == 11:
+        fig11_disk.render(fig11_disk.run()).print()
+    else:
+        print(f"no such figure: {fig} (have 3, 4, 8, 9, 10, 11)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    which = args.which
+    if which == "credits":
+        rows = ablations.run_credit_ablation()
+        ablations.render_rows(rows, "Ablation — credit flow control (ANI WAN)").print()
+    elif which == "qp":
+        rows = ablations.run_qp_ablation()
+        ablations.render_rows(rows, "Ablation — parallel data QPs (RoCE LAN)").print()
+    elif which == "iodepth":
+        rows = ablations.run_iodepth_sweep()
+        ablations.render_rows(rows, "Ablation — I/O depth (RoCE LAN)").print()
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC 2012 RDMA middleware reproduction — simulated testbed runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("testbeds", help="print Table I").set_defaults(func=_cmd_testbeds)
+
+    p = sub.add_parser("rftp", help="run an RFTP transfer")
+    _add_testbed_arg(p)
+    p.add_argument("--bytes", default="1G", help="dataset size (e.g. 8G)")
+    p.add_argument("--block-size", default="4M")
+    p.add_argument("--channels", type=int, default=4)
+    p.add_argument("--pool", type=int, default=32, help="source/sink block pool size")
+    p.add_argument("--disk", action="store_true", help="write to the RAID sink")
+    p.add_argument("--posix", action="store_true", help="POSIX I/O instead of direct")
+    p.add_argument(
+        "--on-demand-credits",
+        action="store_true",
+        help="ablation: disable proactive credit feedback",
+    )
+    p.set_defaults(func=_cmd_rftp)
+
+    p = sub.add_parser("gridftp", help="run the GridFTP baseline")
+    _add_testbed_arg(p)
+    p.add_argument("--bytes", default="1G")
+    p.add_argument("--block-size", default="1M")
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--cc", default=None, help="override congestion control")
+    p.set_defaults(func=_cmd_gridftp)
+
+    p = sub.add_parser("fio", help="run the RDMA I/O engine")
+    _add_testbed_arg(p)
+    p.add_argument("--semantics", choices=("write", "read", "send"), default="write")
+    p.add_argument("--block-size", default="128K")
+    p.add_argument("--iodepth", type=int, default=16)
+    p.add_argument("--blocks", type=int, default=2000)
+    p.set_defaults(func=_cmd_fio)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(3, 4, 8, 9, 10, 11))
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("ablation", help="run a design-choice ablation")
+    p.add_argument("which", choices=("credits", "qp", "iodepth"))
+    p.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

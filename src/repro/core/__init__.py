@@ -1,0 +1,56 @@
+"""The paper's core contribution: the RDMA data-transfer middleware.
+
+The middleware sits between applications (RFTP, the fio-style engine)
+and the simulated verbs transport, and implements the protocol of
+Section IV:
+
+- hybrid semantics: a dedicated control queue pair carries
+  SEND/RECV control messages, one or more data queue pairs carry bulk
+  payload via RDMA WRITE (:mod:`repro.core.channels`),
+- registered buffer-block pools with the paper's two finite state
+  machines (:mod:`repro.core.blocks`, :mod:`repro.core.pool`),
+- credit-based flow control with proactive feedback and an exponential
+  grant ramp (:mod:`repro.core.credits`),
+- out-of-order reassembly keyed by (session id, sequence number)
+  (:mod:`repro.core.reassembly`),
+- session negotiation, transfer, and teardown driven by event-handling
+  threads (:mod:`repro.core.source_link`, :mod:`repro.core.sink_engine`),
+- a public facade (:class:`repro.core.middleware.RdmaMiddleware`).
+"""
+
+from repro.core.blocks import SinkBlock, SinkBlockState, SourceBlock, SourceBlockState
+from repro.core.config import ProtocolConfig
+from repro.core.credits import Credit, CreditGranter, CreditLedger
+from repro.core.messages import (
+    BlockHeader,
+    ControlMessage,
+    CtrlType,
+    CTRL_MSG_BYTES,
+    HEADER_BYTES,
+)
+from repro.core.middleware import RdmaMiddleware, TransferOutcome
+from repro.core.pool import BlockPool
+from repro.core.reassembly import ReassemblyBuffer
+from repro.core.source_link import SourceLink, TransferJob
+
+__all__ = [
+    "BlockHeader",
+    "BlockPool",
+    "CTRL_MSG_BYTES",
+    "ControlMessage",
+    "Credit",
+    "CreditGranter",
+    "CreditLedger",
+    "CtrlType",
+    "HEADER_BYTES",
+    "ProtocolConfig",
+    "RdmaMiddleware",
+    "ReassemblyBuffer",
+    "SinkBlock",
+    "SinkBlockState",
+    "SourceBlock",
+    "SourceBlockState",
+    "SourceLink",
+    "TransferJob",
+    "TransferOutcome",
+]

@@ -1,0 +1,140 @@
+"""Channel wrappers: the control QP and the parallel data QPs.
+
+The control channel runs SEND/RECV with a pre-posted receive ring (sized
+so a healthy run never draws an RNR NAK); bulk payload goes over one or
+more data QPs as RDMA WRITE.  All verbs-call CPU costs are charged to the
+calling thread here, in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from repro.core.messages import ControlMessage, CTRL_MSG_BYTES, DataBlockWire
+from repro.verbs.cq import CompletionChannel
+from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.blocks import SourceBlock
+    from repro.core.credits import Credit
+    from repro.core.messages import BlockHeader
+    from repro.hardware.cpu import CpuThread
+    from repro.verbs.qp import QueuePair
+
+__all__ = ["ControlChannel", "DataChannels"]
+
+
+class ControlChannel:
+    """SEND/RECV messaging over the dedicated control QP."""
+
+    def __init__(self, qp: "QueuePair", recv_depth: int = 128) -> None:
+        self.qp = qp
+        self.engine = qp.engine
+        self.profile = qp.device.arch_profile
+        self.recv_depth = recv_depth
+        self._recv_channel = CompletionChannel(qp.recv_cq)
+        self.sent = 0
+        self.received = 0
+        # Pre-post the receive ring (setup time, not charged).
+        for i in range(recv_depth):
+            qp.post_recv(RecvWR(length=CTRL_MSG_BYTES, wr_id=i))
+
+    def send(self, thread: "CpuThread", msg: ControlMessage) -> Generator:
+        """Post a control message (unsignalled SEND; fire-and-forget)."""
+        yield thread.exec(self.profile.post_send_seconds)
+        self.engine.trace(
+            "ctrl", "send", type=msg.type.value, session=msg.session_id
+        )
+        self.qp.post_send(
+            SendWR(
+                opcode=Opcode.SEND,
+                length=msg.wire_bytes,
+                payload=msg,
+                signaled=False,
+            )
+        )
+        self.sent += 1
+
+    def receive(self, thread: "CpuThread") -> Generator:
+        """Block until control messages arrive; returns the batch.
+
+        Charges the interrupt wakeup, per-CQE poll cost, and the
+        re-posting of consumed receive buffers.
+        """
+        yield self._recv_channel.wait(thread)
+        wcs = yield self.qp.recv_cq.poll(thread, max_entries=self.recv_depth)
+        messages: List[ControlMessage] = []
+        for wc in wcs:
+            if not wc.ok:
+                continue
+            messages.append(wc.payload)
+            # Recycle the receive buffer.
+            yield thread.exec(self.profile.post_recv_seconds)
+            self.qp.post_recv(RecvWR(length=CTRL_MSG_BYTES, wr_id=wc.wr_id))
+        self.received += len(messages)
+        return messages
+
+
+class DataChannels:
+    """The parallel data-plane QPs (§IV-A: multi-channel transfer)."""
+
+    #: Poll interval while the chosen QP's send queue is full.
+    _BACKOFF = 2e-6
+
+    def __init__(self, qps: List["QueuePair"]) -> None:
+        if not qps:
+            raise ValueError("need at least one data QP")
+        self.qps = qps
+        self.engine = qps[0].engine
+        self.profile = qps[0].device.arch_profile
+        self._rr = 0
+        self.blocks_posted = 0
+
+    def __len__(self) -> int:
+        return len(self.qps)
+
+    def _pick(self) -> "QueuePair":
+        """Least-loaded QP, round-robin tie-break."""
+        best: Optional["QueuePair"] = None
+        n = len(self.qps)
+        for i in range(n):
+            qp = self.qps[(self._rr + i) % n]
+            if best is None or qp.send_outstanding < best.send_outstanding:
+                best = qp
+        self._rr = (self._rr + 1) % n
+        assert best is not None
+        return best
+
+    def post_write(
+        self,
+        thread: "CpuThread",
+        block: "SourceBlock",
+        credit: "Credit",
+        header: "BlockHeader",
+        wr_id: Optional[int] = None,
+    ) -> Generator:
+        """Post one block as an RDMA WRITE against the credit's region.
+
+        ``wr_id`` defaults to the header's sequence number; multi-session
+        links pass a link-unique id so completions route unambiguously.
+        """
+        qp = self._pick()
+        while qp.send_room == 0:
+            yield self.engine.timeout(self._BACKOFF)
+        yield thread.exec(self.profile.post_send_seconds)
+        wire = DataBlockWire(header=header, payload=block.payload, block_id=credit.block_id)
+        qp.post_send(
+            SendWR(
+                opcode=Opcode.RDMA_WRITE,
+                length=header.wire_bytes,
+                wr_id=header.seq if wr_id is None else wr_id,
+                remote_addr=credit.addr,
+                rkey=credit.rkey,
+                payload=wire,
+            )
+        )
+        self.blocks_posted += 1
+
+    @property
+    def outstanding(self) -> int:
+        return sum(qp.send_outstanding for qp in self.qps)

@@ -1,0 +1,59 @@
+"""Protocol configuration knobs (and the ablation switches)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtocolConfig"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunable parameters of the middleware protocol.
+
+    Defaults follow the paper's recommendations: large blocks, several
+    parallel data channels, a deep pool of in-flight blocks, proactive
+    credits with the ×2 "slow-start" grant ramp.
+    """
+
+    #: Negotiated payload block size in bytes.
+    block_size: int = 4 * 1024 * 1024
+    #: Number of parallel data-channel queue pairs.
+    num_channels: int = 4
+    #: Source-side registered block pool size (bounds blocks in flight).
+    source_blocks: int = 32
+    #: Sink-side registered block pool size (bounds outstanding credits).
+    sink_blocks: int = 32
+    #: Max credits the sink grants per BLOCK_DONE notification (2 gives the
+    #: exponential ramp of §IV-C; 1 gives a linear, ablation-only ramp).
+    credit_grant_ratio: int = 2
+    #: Credits pushed unprompted right after session setup.
+    initial_credits: int = 2
+    #: Proactive feedback (the paper's design).  False reproduces the
+    #: request/response credit scheme of Tian et al. [19]: the source must
+    #: spend an RTT asking whenever it runs dry.
+    proactive_credits: bool = True
+    #: Number of data-loading threads at the source.
+    reader_threads: int = 2
+    #: Number of consumer threads at the sink.
+    writer_threads: int = 2
+    #: Per-QP send queue depth.
+    send_queue_depth: int = 512
+    #: Control QP receive ring size.
+    ctrl_recv_depth: int = 128
+
+    def __post_init__(self) -> None:
+        if self.block_size < 4096:
+            raise ValueError("block size below 4 KiB is not supported")
+        if self.num_channels < 1:
+            raise ValueError("need at least one data channel")
+        if self.source_blocks < 2 or self.sink_blocks < 2:
+            raise ValueError("pools need at least two blocks")
+        if self.credit_grant_ratio < 1:
+            raise ValueError("credit_grant_ratio must be >= 1")
+        if self.initial_credits < 1:
+            raise ValueError("initial_credits must be >= 1")
+        if self.initial_credits > self.sink_blocks:
+            raise ValueError("initial_credits cannot exceed the sink pool")
+        if self.reader_threads < 1 or self.writer_threads < 1:
+            raise ValueError("need at least one reader and one writer thread")

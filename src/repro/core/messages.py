@@ -1,0 +1,99 @@
+"""Wire formats: control messages and the user-payload block header.
+
+Figure 7 of the paper defines two formats.  Control messages ride the
+dedicated control QP via SEND/RECV; the 64-byte size below covers the
+type, session, and type-associated data fields.  Every payload block is
+prefixed by a fixed header — session id (32 bits), sequence number
+(32 bits), offset (64 bits), payload length (32 bits), reserved — that
+the sink uses to reassemble out-of-order arrivals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "CtrlType",
+    "ControlMessage",
+    "BlockHeader",
+    "CTRL_MSG_BYTES",
+    "HEADER_BYTES",
+]
+
+#: Simulated wire size of one control message (Figure 7a).
+CTRL_MSG_BYTES = 64
+#: Payload block header: 32+32+64+32 bits + reserved padding (Figure 7b).
+HEADER_BYTES = 24
+
+
+class CtrlType(enum.Enum):
+    """Control-message types of the protocol's three phases (§IV-C)."""
+
+    # Phase 1: initialisation and parameter negotiation.
+    BLOCK_SIZE_REQ = "block_size_req"
+    BLOCK_SIZE_REP = "block_size_rep"
+    CHANNELS_REQ = "channels_req"
+    CHANNELS_REP = "channels_rep"
+    SESSION_REQ = "session_req"
+    SESSION_REP = "session_rep"
+    # Phase 2: data transfer.
+    MR_INFO_REQ = "mr_info_req"  # source is idle, begging for credits
+    MR_INFO_REP = "mr_info_rep"  # sink grants one or more memory regions
+    BLOCK_DONE = "block_done"  # block transfer completion notification
+    # Phase 3: teardown.
+    DATASET_DONE = "dataset_done"
+    DATASET_DONE_ACK = "dataset_done_ack"
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A control-plane message (SEND/RECV on the control QP)."""
+
+    type: CtrlType
+    session_id: int
+    #: "Type Associated Data": negotiated value, credit list, block id...
+    data: Any = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return CTRL_MSG_BYTES
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Per-block header prefixed to every user payload block."""
+
+    session_id: int
+    seq: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.session_id < 2**32:
+            raise ValueError("session_id must fit in 32 bits")
+        if not 0 <= self.seq < 2**32:
+            raise ValueError("seq must fit in 32 bits")
+        if not 0 <= self.offset < 2**64:
+            raise ValueError("offset must fit in 64 bits")
+        if not 0 <= self.length < 2**32:
+            raise ValueError("length must fit in 32 bits")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this block occupies on the wire (header + payload)."""
+        return HEADER_BYTES + self.length
+
+    def key(self) -> Tuple[int, int]:
+        return (self.session_id, self.seq)
+
+
+@dataclass(frozen=True)
+class DataBlockWire:
+    """What actually lands in a sink memory region: header + payload."""
+
+    header: BlockHeader
+    payload: Any = None
+    #: Sink block id the source targeted (from the credit it consumed).
+    block_id: Optional[int] = None

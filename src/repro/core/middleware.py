@@ -1,0 +1,222 @@
+"""Public middleware facade: connect, serve, transfer.
+
+This is the API applications (RFTP, examples, benchmarks) program
+against.  A server middleware listens for sessions; a client middleware
+establishes one control QP plus ``num_channels`` data QPs per transfer,
+runs sessions over a :class:`~repro.core.source_link.SourceLink`, and returns a
+:class:`TransferOutcome` with protocol statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.core.channels import ControlChannel, DataChannels
+from repro.core.config import ProtocolConfig
+from repro.core.pool import BlockPool
+from repro.core.sink_engine import SinkEngine
+from repro.core.source_link import SourceLink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.host import Host
+    from repro.sim.engine import Engine
+    from repro.verbs.cm import ConnectionManager
+    from repro.verbs.device import Device
+
+__all__ = ["RdmaMiddleware", "TransferOutcome"]
+
+_session_ids = itertools.count(1)
+_client_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Result of one completed dataset transfer."""
+
+    session_id: int
+    bytes: int
+    elapsed: float
+    blocks: int
+    resends: int
+    mr_requests: int
+    ctrl_sent: int
+    ctrl_received: int
+    peak_credits: int
+    rnr_naks: int
+
+    @property
+    def gbps(self) -> float:
+        """Application goodput in gigabits per second."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.bytes * 8.0 / self.elapsed / 1e9
+
+
+class RdmaMiddleware:
+    """Per-host middleware instance (Figure 2's layer)."""
+
+    def __init__(
+        self,
+        host: "Host",
+        device: "Device",
+        cm: "ConnectionManager",
+        config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        self.host = host
+        self.device = device
+        self.cm = cm
+        self.config = config or ProtocolConfig()
+        self.engine: "Engine" = host.engine
+        self.pd = device.alloc_pd()
+        self.sink_engines: Dict[int, SinkEngine] = {}  # by client id
+
+    # -- server role ----------------------------------------------------------------
+    def serve(self, port: int, data_sink: Any) -> None:
+        """Start accepting transfer sessions on ``port``.
+
+        ``data_sink`` must provide ``write(thread, nbytes, header, payload)``
+        as a process generator (see :mod:`repro.apps.io`).
+        """
+        listener = self.cm.listen(self.device, port)
+
+        def _accept_loop() -> Generator:
+            while True:
+                request = yield listener.get_request()
+                kind = request.private_data[0]
+                if kind == "ctrl":
+                    client_id = request.private_data[1]
+                    ctrl_qp = self.device.create_qp(
+                        self.pd,
+                        self.device.create_cq(),
+                        self.device.create_cq(),
+                        max_send_wr=self.config.send_queue_depth,
+                    )
+                    request.accept(ctrl_qp)
+                    ctrl = ControlChannel(ctrl_qp, self.config.ctrl_recv_depth)
+                    engine = SinkEngine(
+                        self.host,
+                        ctrl,
+                        self.config,
+                        data_sink,
+                        pool_factory=self._make_sink_pool,
+                    )
+                    engine.start()
+                    self.sink_engines[client_id] = engine
+                elif kind == "data":
+                    data_qp = self.device.create_qp(
+                        self.pd,
+                        self.device.create_cq(),
+                        self.device.create_cq(),
+                        max_send_wr=self.config.send_queue_depth,
+                    )
+                    request.accept(data_qp)
+                else:  # pragma: no cover - defensive
+                    request.reject(f"unknown endpoint kind {kind!r}")
+
+        self.engine.process(_accept_loop())
+
+    def _make_sink_pool(self, block_size: int) -> BlockPool:
+        return BlockPool.build_sink(
+            self.host, self.pd, self.config.sink_blocks, block_size
+        )
+
+    # -- client role -----------------------------------------------------------------
+    def open_link(
+        self,
+        remote: "Device",
+        port: int,
+        config: Optional[ProtocolConfig] = None,
+        fault_injector: Any = None,
+    ):
+        """Process event resolving to a :class:`SourceLink`.
+
+        Establishes the connection set of §IV: one control QP plus
+        ``num_channels`` data QPs sharing a send CQ, and the registered
+        source block pool.  Any number of concurrent or sequential
+        sessions can then run over the link via
+        :meth:`SourceLink.transfer`.
+        """
+        cfg = config or self.config
+        client_id = next(_client_ids)
+
+        def _open() -> Generator:
+            ctrl_qp = self.device.create_qp(
+                self.pd,
+                self.device.create_cq(),
+                self.device.create_cq(),
+                max_send_wr=cfg.send_queue_depth,
+            )
+            yield self.cm.connect(ctrl_qp, remote, port, ("ctrl", client_id))
+            ctrl = ControlChannel(ctrl_qp, cfg.ctrl_recv_depth)
+            data_send_cq = self.device.create_cq()
+            data_recv_cq = self.device.create_cq()
+            data_qps = []
+            for i in range(cfg.num_channels):
+                qp = self.device.create_qp(
+                    self.pd,
+                    data_send_cq,
+                    data_recv_cq,
+                    max_send_wr=cfg.send_queue_depth,
+                )
+                yield self.cm.connect(qp, remote, port, ("data", client_id, i))
+                qp.fault_injector = fault_injector
+                data_qps.append(qp)
+            data = DataChannels(data_qps)
+            pool = BlockPool.build_source(
+                self.host, self.pd, cfg.source_blocks, cfg.block_size
+            )
+            link = SourceLink(self.host, ctrl, data, data_send_cq, pool, cfg)
+            link._ctrl_qp = ctrl_qp  # for RNR stats in outcomes
+            link._data_qps = data_qps
+            return link
+
+        return self.engine.process(_open())
+
+    def transfer(
+        self,
+        remote: "Device",
+        port: int,
+        data_source: Any,
+        total_bytes: int,
+        config: Optional[ProtocolConfig] = None,
+        fault_injector: Any = None,
+        link: Optional[SourceLink] = None,
+    ):
+        """Process event resolving to a :class:`TransferOutcome`.
+
+        ``data_source`` must provide ``read(thread, nbytes, seq)`` as a
+        process generator returning the block payload.  Passing an
+        existing ``link`` (from :meth:`open_link`) runs the session over
+        it instead of establishing fresh connections.
+        ``fault_injector`` (testing): a ``(SendWR) -> bool`` installed on
+        every data QP; returning True fails that WRITE transiently,
+        exercising the protocol's re-send path.
+        """
+        session_id = next(_session_ids)
+
+        def _run() -> Generator:
+            the_link = link
+            if the_link is None:
+                the_link = yield self.open_link(
+                    remote, port, config, fault_injector
+                )
+            mr_reqs_before = the_link.mr_requests_sent
+            job = yield the_link.transfer(data_source, total_bytes, session_id)
+            assert job.started_at is not None and job.finished_at is not None
+            return TransferOutcome(
+                session_id=session_id,
+                bytes=total_bytes,
+                elapsed=job.finished_at - job.started_at,
+                blocks=job.total_blocks,
+                resends=job.resends,
+                mr_requests=the_link.mr_requests_sent - mr_reqs_before,
+                ctrl_sent=the_link.ctrl.sent,
+                ctrl_received=the_link.ctrl.received,
+                peak_credits=the_link.ledger.peak_balance,
+                rnr_naks=sum(qp.rnr_naks.count for qp in the_link._data_qps)
+                + the_link._ctrl_qp.rnr_naks.count,
+            )
+
+        return self.engine.process(_run())

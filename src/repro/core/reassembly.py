@@ -1,0 +1,63 @@
+"""Out-of-order block reassembly (§IV-A, third optimisation).
+
+With multiple data-channel queue pairs, blocks of one session may land at
+the sink in any order.  The reassembly buffer holds early arrivals and
+releases the longest possible in-order run, keyed by (session id,
+sequence number), so upper layers always see an in-order byte stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.messages import BlockHeader
+
+__all__ = ["ReassemblyBuffer"]
+
+
+class ReassemblyBuffer:
+    """Per-session in-order delivery of out-of-order arrivals."""
+
+    def __init__(self) -> None:
+        #: session id -> next sequence number owed to the application.
+        self._next_seq: Dict[int, int] = {}
+        #: (session id, seq) -> (header, payload) parked out-of-order.
+        self._parked: Dict[Tuple[int, int], Tuple[BlockHeader, Any]] = {}
+        self.max_parked = 0
+        self.duplicates = 0
+
+    def pending(self, session_id: int) -> int:
+        """Blocks parked for a session (not yet deliverable)."""
+        return sum(1 for (sid, _) in self._parked if sid == session_id)
+
+    def next_seq(self, session_id: int) -> int:
+        return self._next_seq.get(session_id, 0)
+
+    def push(self, header: BlockHeader, payload: Any) -> List[Tuple[BlockHeader, Any]]:
+        """Insert an arrival; return the blocks now deliverable in order.
+
+        Duplicate or stale sequence numbers are counted and dropped
+        (RDMA WRITE is reliable, so these indicate an application replay —
+        tests use them to assert idempotence).
+        """
+        sid = header.session_id
+        nxt = self._next_seq.get(sid, 0)
+        if header.seq < nxt or header.key() in self._parked:
+            self.duplicates += 1
+            return []
+        self._parked[header.key()] = (header, payload)
+        self.max_parked = max(self.max_parked, len(self._parked))
+        released: List[Tuple[BlockHeader, Any]] = []
+        while (sid, nxt) in self._parked:
+            released.append(self._parked.pop((sid, nxt)))
+            nxt += 1
+        self._next_seq[sid] = nxt
+        return released
+
+    def finish_session(self, session_id: int) -> int:
+        """Close a session; returns (and discards) any stranded blocks."""
+        stranded = [key for key in self._parked if key[0] == session_id]
+        for key in stranded:
+            del self._parked[key]
+        self._next_seq.pop(session_id, None)
+        return len(stranded)

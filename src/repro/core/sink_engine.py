@@ -1,0 +1,195 @@
+"""The data-sink protocol engine (receiver side of §IV).
+
+The sink is *not* on the data path: payload lands in its registered
+blocks via one-sided RDMA WRITE with zero sink CPU.  Its threads only:
+
+- handle control messages — negotiate parameters, turn BLOCK_DONE
+  notifications into READY blocks (via the reassembly buffer), and grant
+  credits per the proactive-feedback policy;
+- consume READY blocks in order (``get_ready_blk``), hand payload to the
+  application's data sink (file system, /dev/null), and recycle blocks
+  (``put_free_blk``), triggering fresh grants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from repro.core.blocks import SinkBlock
+from repro.core.channels import ControlChannel
+from repro.core.config import ProtocolConfig
+from repro.core.credits import Credit, CreditGranter
+from repro.core.messages import BlockHeader, ControlMessage, CtrlType
+from repro.core.pool import BlockPool
+from repro.core.reassembly import ReassemblyBuffer
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.host import Host
+    from repro.sim.engine import Engine
+
+__all__ = ["SinkEngine"]
+
+
+class SinkEngine:
+    """Drives the receiving side of transfer sessions on one control
+    channel."""
+
+    def __init__(
+        self,
+        host: "Host",
+        ctrl: ControlChannel,
+        config: ProtocolConfig,
+        data_sink: Any,
+        pool_factory,
+    ) -> None:
+        self.host = host
+        self.engine: "Engine" = host.engine
+        self.ctrl = ctrl
+        self.config = config
+        self.data_sink = data_sink
+        #: Callable ``(block_size) -> BlockPool[SinkBlock]`` — the pool is
+        #: built only once the block size is negotiated.
+        self.pool_factory = pool_factory
+
+        self.pool: Optional[BlockPool[SinkBlock]] = None
+        self.granter: Optional[CreditGranter] = None
+        self.reassembly = ReassemblyBuffer()
+        self._ready: Store = Store(self.engine)
+        self._expected_bytes: Dict[int, int] = {}
+        self._consumed_bytes: Dict[int, int] = {}
+        self._finished_blocks = 0
+        self._dataset_done_total: Dict[int, int] = {}
+        #: Succeeds per session once everything is consumed and acked.
+        self.session_done: Dict[int, Event] = {}
+        self._consumers_started = False
+
+    # -- public -----------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the control-handling thread."""
+        self.engine.process(self._control_thread())
+
+    @property
+    def blocks_delivered(self) -> int:
+        return self._finished_blocks
+
+    def consumed_bytes(self, session_id: int) -> int:
+        return self._consumed_bytes.get(session_id, 0)
+
+    # -- control plane -------------------------------------------------------------
+    def _control_thread(self) -> Generator:
+        thread = self.host.thread("snk-ctrl", "app")
+        while True:
+            msgs = yield from self.ctrl.receive(thread)
+            for msg in msgs:
+                yield from self._dispatch(thread, msg)
+
+    def _dispatch(self, thread, msg: ControlMessage) -> Generator:
+        if msg.type is CtrlType.BLOCK_SIZE_REQ:
+            accept = msg.data >= 4096
+            if self.pool is not None and msg.data != self.pool.block_size:
+                # The registered pool is sized for one block size; a later
+                # session must negotiate the same one (or a new link).
+                accept = False
+            if accept and self.pool is None:
+                self.pool = self.pool_factory(msg.data)
+                self.granter = CreditGranter(
+                    self.pool,
+                    grant_ratio=self.config.credit_grant_ratio,
+                    proactive=self.config.proactive_credits,
+                )
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.BLOCK_SIZE_REP, msg.session_id, accept),
+            )
+        elif msg.type is CtrlType.CHANNELS_REQ:
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.CHANNELS_REP, msg.session_id, True),
+            )
+        elif msg.type is CtrlType.SESSION_REQ:
+            assert self.granter is not None, "block size not negotiated"
+            self._expected_bytes[msg.session_id] = msg.data
+            self._consumed_bytes.setdefault(msg.session_id, 0)
+            self.session_done.setdefault(msg.session_id, Event(self.engine))
+            if not self._consumers_started:
+                self._consumers_started = True
+                for i in range(self.config.writer_threads):
+                    self.engine.process(self._consumer_thread(i))
+            initial = tuple(self.granter.initial_grant(self.config.initial_credits))
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.SESSION_REP, msg.session_id, (True, initial)),
+            )
+        elif msg.type is CtrlType.BLOCK_DONE:
+            yield from self._on_block_done(thread, msg)
+        elif msg.type is CtrlType.MR_INFO_REQ:
+            assert self.granter is not None
+            granted = self.granter.on_request()
+            if granted:
+                yield from self._send_credits(thread, msg.session_id, granted)
+        elif msg.type is CtrlType.DATASET_DONE:
+            self._dataset_done_total[msg.session_id] = msg.data
+            yield from self._maybe_finish(thread, msg.session_id)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"sink got unexpected control message {msg.type}")
+
+    def _on_block_done(self, thread, msg: ControlMessage) -> Generator:
+        assert self.pool is not None and self.granter is not None
+        block_id, header = msg.data
+        block = self.pool.by_id(block_id)
+        # Extract what the one-sided WRITE deposited in the region.
+        wire = block.mr.take(block.mr.buffer.addr)
+        payload = wire.payload if wire is not None else None
+        block.finish(header, payload)
+        self._finished_blocks += 1
+        for hdr, blk in self.reassembly.push(header, block):
+            yield self._ready.put((hdr, blk))
+        granted = self.granter.on_block_done()
+        if granted:
+            yield from self._send_credits(thread, msg.session_id, granted)
+
+    def _send_credits(self, thread, session_id: int, credits: List[Credit]) -> Generator:
+        yield from self.ctrl.send(
+            thread,
+            ControlMessage(CtrlType.MR_INFO_REP, session_id, tuple(credits)),
+        )
+
+    # -- data consumption -------------------------------------------------------------
+    def get_ready_blk(self):
+        """Event resolving to the next in-order ``(header, block)`` pair."""
+        return self._ready.get()
+
+    def _consumer_thread(self, index: int) -> Generator:
+        thread = self.host.thread(f"snk-writer{index}", "app")
+        assert self.pool is not None and self.granter is not None
+        while True:
+            header, block = yield self.get_ready_blk()
+            payload = block.payload
+            yield from self.data_sink.write(thread, header.length, header, payload)
+            block.consume()
+            self.pool.put_free_blk(block)
+            self._consumed_bytes[header.session_id] = (
+                self._consumed_bytes.get(header.session_id, 0) + header.length
+            )
+            granted = self.granter.on_block_freed()
+            if granted:
+                yield from self._send_credits(thread, header.session_id, granted)
+            yield from self._maybe_finish(thread, header.session_id)
+
+    def _maybe_finish(self, thread, session_id: int) -> Generator:
+        total = self._dataset_done_total.get(session_id)
+        if total is None:
+            return
+        if self._consumed_bytes.get(session_id, 0) < total:
+            return
+        done = self.session_done.get(session_id)
+        if done is not None and not done.triggered:
+            # Mark before yielding: two consumer threads can both reach
+            # this point in the same instant otherwise.
+            done.succeed(total)
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.DATASET_DONE_ACK, session_id, total),
+            )

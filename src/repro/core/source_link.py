@@ -1,0 +1,284 @@
+"""Multi-session source link: one connection set, many transfer jobs.
+
+§IV-C: "The application probably issues multiple data transfer tasks
+simultaneously.  Each task is associated with a global session identifier
+which is available in both the source and sink."  A :class:`SourceLink`
+owns the shared per-connection state — the control channel, the parallel
+data QPs, the registered block pool, and the credit ledger — and runs any
+number of concurrent or sequential :meth:`transfer` jobs over it.  The
+sink routes by session id and reassembles each session independently.
+
+Shared threads (Figure 2's pool):
+
+- one *control thread* routes inbound messages: credit grants feed the
+  shared ledger, negotiation replies and DATASET_DONE_ACKs go to their
+  session's job;
+- one *completion thread* reaps WRITE completions off the shared send CQ
+  and routes them to the owning job by work-request id.
+
+Per-job threads: readers (load payload into blocks) and a sender (pair
+LOADED blocks with credits, post RDMA WRITEs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Tuple
+
+from repro.core.blocks import SourceBlock
+from repro.core.channels import ControlChannel, DataChannels
+from repro.core.config import ProtocolConfig
+from repro.core.credits import Credit, CreditLedger
+from repro.core.messages import BlockHeader, ControlMessage, CtrlType
+from repro.core.pool import BlockPool
+from repro.sim.events import Event
+from repro.sim.resources import Store
+from repro.verbs.cq import CompletionChannel, CompletionQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.host import Host
+    from repro.sim.engine import Engine
+
+__all__ = ["SourceLink", "TransferJob"]
+
+_REPLY_TYPES = (
+    CtrlType.BLOCK_SIZE_REP,
+    CtrlType.CHANNELS_REP,
+    CtrlType.SESSION_REP,
+    CtrlType.DATASET_DONE_ACK,
+)
+
+
+class TransferJob:
+    """One dataset transfer (one session) running on a link."""
+
+    def __init__(
+        self,
+        link: "SourceLink",
+        session_id: int,
+        total_bytes: int,
+        data_source: Any,
+    ) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.link = link
+        self.session_id = session_id
+        self.total_bytes = total_bytes
+        self.data_source = data_source
+        self.block_size = link.config.block_size
+        self.total_blocks = -(-total_bytes // self.block_size)
+        self.completed_blocks = 0
+        self.resends = 0
+        #: Per-block source-side latency: post of the RDMA WRITE to the
+        #: polled completion (includes the RC ACK round trip), seconds.
+        self.block_latencies: list = []
+        self._post_times: Dict[int, float] = {}
+        self._next_load_seq = 0
+        self._loaded: Store = Store(link.engine)
+        self._replies: Dict[CtrlType, Store] = {
+            t: Store(link.engine) for t in _REPLY_TYPES
+        }
+        #: Succeeds (with this job) when the sink acknowledges the dataset.
+        self.done: Event = Event(link.engine)
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def _block_extent(self, seq: int) -> Tuple[int, int]:
+        offset = seq * self.block_size
+        length = min(self.block_size, self.total_bytes - offset)
+        return offset, length
+
+
+class SourceLink:
+    """Shared sender-side state for one middleware connection."""
+
+    def __init__(
+        self,
+        host: "Host",
+        ctrl: ControlChannel,
+        data: DataChannels,
+        data_send_cq: CompletionQueue,
+        pool: BlockPool[SourceBlock],
+        config: ProtocolConfig,
+    ) -> None:
+        self.host = host
+        self.engine: "Engine" = host.engine
+        self.ctrl = ctrl
+        self.data = data
+        self.data_send_cq = data_send_cq
+        self.data_cc = CompletionChannel(data_send_cq)
+        self.pool = pool
+        self.config = config
+        self.ledger = CreditLedger(self.engine)
+        self.jobs: Dict[int, TransferJob] = {}
+        self.mr_requests_sent = 0
+        self._wr_ids = itertools.count()
+        self._inflight: Dict[int, Tuple[TransferJob, SourceBlock, Credit]] = {}
+        self._active_jobs = 0
+        self._started = False
+
+    # -- public API --------------------------------------------------------------
+    def transfer(self, data_source: Any, total_bytes: int, session_id: int):
+        """Process event resolving to the finished :class:`TransferJob`."""
+        job = TransferJob(self, session_id, total_bytes, data_source)
+        if session_id in self.jobs:
+            raise ValueError(f"session {session_id} already active on this link")
+        self.jobs[session_id] = job
+        self._active_jobs += 1
+        if not self._started:
+            self._started = True
+            self.engine.process(self._control_thread())
+            self.engine.process(self._completion_thread())
+
+        def _run() -> Generator:
+            thread = self.host.thread(f"src-nego-{session_id}", "app")
+            yield from self._negotiate(thread, job)
+            job.started_at = self.engine.now
+            for i in range(self.config.reader_threads):
+                self.engine.process(self._reader_thread(job, i))
+            self.engine.process(self._sender_thread(job))
+            finished: TransferJob = yield job.done
+            return finished
+
+        return self.engine.process(_run())
+
+    # -- negotiation (phase 1 of §IV-C) ---------------------------------------------
+    def _negotiate(self, thread, job: TransferJob) -> Generator:
+        sid = job.session_id
+        yield from self.ctrl.send(
+            thread, ControlMessage(CtrlType.BLOCK_SIZE_REQ, sid, job.block_size)
+        )
+        reply: ControlMessage = yield job._replies[CtrlType.BLOCK_SIZE_REP].get()
+        if not reply.data:
+            raise RuntimeError(f"sink rejected block size {job.block_size}")
+        yield from self.ctrl.send(
+            thread, ControlMessage(CtrlType.CHANNELS_REQ, sid, len(self.data))
+        )
+        reply = yield job._replies[CtrlType.CHANNELS_REP].get()
+        if not reply.data:
+            raise RuntimeError("sink rejected channel count")
+        yield from self.ctrl.send(
+            thread, ControlMessage(CtrlType.SESSION_REQ, sid, job.total_bytes)
+        )
+        reply = yield job._replies[CtrlType.SESSION_REP].get()
+        accepted, initial_credits = reply.data
+        if not accepted:
+            raise RuntimeError("sink rejected session")
+        if initial_credits:
+            self.ledger.deposit(list(initial_credits))
+
+    # -- per-job threads -----------------------------------------------------------
+    def _reader_thread(self, job: TransferJob, index: int) -> Generator:
+        thread = self.host.thread(f"src-reader{job.session_id}.{index}", "app")
+        while True:
+            if job._next_load_seq >= job.total_blocks:
+                return
+            seq = job._next_load_seq
+            job._next_load_seq += 1
+            offset, length = job._block_extent(seq)
+            block: SourceBlock = yield self.pool.get_free_blk()
+            block.reserve()
+            payload = yield from job.data_source.read(thread, length, seq)
+            header = BlockHeader(job.session_id, seq, offset, length)
+            block.loaded(header, payload)
+            yield job._loaded.put(block)
+
+    def _sender_thread(self, job: TransferJob) -> Generator:
+        thread = self.host.thread(f"src-sender{job.session_id}", "app")
+        while True:
+            block: SourceBlock = yield job._loaded.get()
+            if block is None:
+                return  # all blocks of this job completed
+            if self.ledger.balance == 0:
+                # Out of credits: beg the sink (the RTT-costing situation
+                # proactive feedback exists to avoid).
+                self.mr_requests_sent += 1
+                yield from self.ctrl.send(
+                    thread, ControlMessage(CtrlType.MR_INFO_REQ, job.session_id)
+                )
+            credit: Credit = yield self.ledger.acquire()
+            assert block.header is not None
+            block.sending()
+            wr_id = next(self._wr_ids)
+            self._inflight[wr_id] = (job, block, credit)
+            job._post_times[wr_id] = self.engine.now
+            yield from self.data.post_write(
+                thread, block, credit, block.header, wr_id=wr_id
+            )
+            block.waiting()
+
+    # -- shared threads -------------------------------------------------------------
+    def _completion_thread(self) -> Generator:
+        thread = self.host.thread("src-completion", "app")
+        while True:
+            yield self.data_cc.wait(thread)
+            wcs = yield self.data_send_cq.poll(thread, max_entries=64)
+            for wc in wcs:
+                job, block, credit = self._inflight.pop(wc.wr_id)
+                posted_at = job._post_times.pop(wc.wr_id, None)
+                if posted_at is not None and wc.ok:
+                    job.block_latencies.append(self.engine.now - posted_at)
+                if wc.ok:
+                    yield from self.ctrl.send(
+                        thread,
+                        ControlMessage(
+                            CtrlType.BLOCK_DONE,
+                            job.session_id,
+                            (credit.block_id, block.header),
+                        ),
+                    )
+                    block.release()
+                    self.pool.put_free_blk(block)
+                    job.completed_blocks += 1
+                    if job.completed_blocks == job.total_blocks:
+                        yield job._loaded.put(None)  # release the sender
+                        yield from self.ctrl.send(
+                            thread,
+                            ControlMessage(
+                                CtrlType.DATASET_DONE,
+                                job.session_id,
+                                job.total_bytes,
+                            ),
+                        )
+                else:
+                    # Failed WRITE (Fig. 6: WAITING → LOADED re-send).
+                    # The payload never landed, so the credit's region is
+                    # still empty — re-post immediately with the SAME
+                    # credit.  Routing it back through the ledger would
+                    # let fresh blocks steal it and, with a fully
+                    # advertised sink pool, leave the retransmission
+                    # unable to ever acquire a region (head-of-line
+                    # deadlock).
+                    job.resends += 1
+                    block.resend()
+                    block.sending()
+                    wr_id = next(self._wr_ids)
+                    self._inflight[wr_id] = (job, block, credit)
+                    job._post_times[wr_id] = self.engine.now
+                    assert block.header is not None
+                    yield from self.data.post_write(
+                        thread, block, credit, block.header, wr_id=wr_id
+                    )
+                    block.waiting()
+
+    def _control_thread(self) -> Generator:
+        thread = self.host.thread("src-ctrl", "app")
+        while True:
+            msgs = yield from self.ctrl.receive(thread)
+            for msg in msgs:
+                if msg.type is CtrlType.MR_INFO_REP:
+                    self.ledger.deposit(list(msg.data))
+                    continue
+                job = self.jobs.get(msg.session_id)
+                if job is None:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"control message for unknown session {msg.session_id}"
+                    )
+                if msg.type is CtrlType.DATASET_DONE_ACK:
+                    job.finished_at = self.engine.now
+                    self._active_jobs -= 1
+                    job.done.succeed(job)
+                elif msg.type in job._replies:
+                    yield job._replies[msg.type].put(msg)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unexpected control message {msg.type}")

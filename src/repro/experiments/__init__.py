@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` function that executes the experiment
+on freshly-built testbeds and returns structured results (rows/series
+matching the paper's figure), plus a ``check(results)`` that asserts the
+paper's qualitative findings hold — who wins, by roughly what factor,
+where saturation and crossovers fall.  The ``benchmarks/`` tree wraps
+these in pytest-benchmark entries; ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig3_fig4_semantics,
+    fig8_fig9_lan_ftp,
+    fig10_wan_ftp,
+    fig11_disk,
+    table1_testbeds,
+)
+
+__all__ = [
+    "ablations",
+    "fig3_fig4_semantics",
+    "fig8_fig9_lan_ftp",
+    "fig10_wan_ftp",
+    "fig11_disk",
+    "table1_testbeds",
+]

@@ -1,0 +1,126 @@
+"""Figures 3 & 4: RDMA semantics comparison (fio engine).
+
+Sweeps block size × I/O depth for WRITE / READ / SEND-RECV on the RoCE
+LAN (Fig. 3) and InfiniBand LAN (Fig. 4), reporting bandwidth and
+combined source+sink CPU — the two panels of each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis import Table
+from repro.apps.fio import FioJob, run_fio
+from repro.testbeds import Testbed
+
+__all__ = ["run", "check", "render", "SEMANTICS", "BLOCK_SIZES"]
+
+SEMANTICS = ("write", "read", "send")
+#: The paper sweeps 4K..4M; 16K-128K is the recommended band.
+BLOCK_SIZES = (4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10, 4 << 20)
+LOW_DEPTH, HIGH_DEPTH = 1, 16
+
+
+@dataclass(frozen=True)
+class Point:
+    semantics: str
+    block_size: int
+    iodepth: int
+    gbps: float
+    cpu_pct: float
+    lat_us: float
+
+
+def _blocks_for(block_size: int, iodepth: int) -> int:
+    """Scale the op count so each point simulates a similar byte volume."""
+    target = 192 << 20 if iodepth > 1 else 48 << 20
+    return max(iodepth * 8, min(3000, target // block_size))
+
+
+def run(testbed_factory: Callable[[], Testbed]) -> List[Point]:
+    points: List[Point] = []
+    for iodepth in (LOW_DEPTH, HIGH_DEPTH):
+        for semantics in SEMANTICS:
+            for block_size in BLOCK_SIZES:
+                tb = testbed_factory()
+                result = run_fio(
+                    tb,
+                    FioJob(
+                        semantics=semantics,
+                        block_size=block_size,
+                        iodepth=iodepth,
+                        total_blocks=_blocks_for(block_size, iodepth),
+                    ),
+                )
+                points.append(
+                    Point(
+                        semantics=semantics,
+                        block_size=block_size,
+                        iodepth=iodepth,
+                        gbps=result.gbps,
+                        cpu_pct=result.total_cpu_pct,
+                        lat_us=result.lat_mean_us,
+                    )
+                )
+    return points
+
+
+def _at(points: List[Point], semantics: str, block_size: int, iodepth: int) -> Point:
+    for p in points:
+        if (
+            p.semantics == semantics
+            and p.block_size == block_size
+            and p.iodepth == iodepth
+        ):
+            return p
+    raise KeyError((semantics, block_size, iodepth))
+
+
+def check(points: List[Point], line_rate_gbps: float) -> None:
+    """The §III-B observations, as assertions."""
+    # (1) High depth: WRITE and SEND/RECV beat READ (small/mid blocks).
+    for bs in (16 << 10, 64 << 10):
+        write = _at(points, "write", bs, HIGH_DEPTH).gbps
+        send = _at(points, "send", bs, HIGH_DEPTH).gbps
+        read = _at(points, "read", bs, HIGH_DEPTH).gbps
+        assert write > 1.2 * read, f"WRITE must beat READ at {bs}"
+        assert send > 1.2 * read, f"SEND must beat READ at {bs}"
+    # (2,3) Saturation from the 16K-128K band upward.
+    peak = max(p.gbps for p in points if p.iodepth == HIGH_DEPTH)
+    for bs in (128 << 10, 512 << 10, 4 << 20):
+        got = _at(points, "write", bs, HIGH_DEPTH).gbps
+        assert got > 0.9 * peak, f"saturation expected at {bs}"
+    # (4) CPU falls as block size rises.
+    for semantics in SEMANTICS:
+        cpu_small = _at(points, semantics, 16 << 10, HIGH_DEPTH).cpu_pct
+        cpu_large = _at(points, semantics, 4 << 20, HIGH_DEPTH).cpu_pct
+        assert cpu_large < cpu_small
+    # (5) SEND/RECV burns far more CPU than WRITE at peak.
+    assert (
+        _at(points, "send", 128 << 10, HIGH_DEPTH).cpu_pct
+        > 1.5 * _at(points, "write", 128 << 10, HIGH_DEPTH).cpu_pct
+    )
+    # (6) Low depth: all semantics similar and well below line rate.
+    lows = [_at(points, s, 128 << 10, LOW_DEPTH).gbps for s in SEMANTICS]
+    assert max(lows) < 0.6 * line_rate_gbps
+    assert max(lows) < 1.6 * min(lows)
+    # High depth clearly beats low depth.
+    assert (
+        _at(points, "write", 128 << 10, HIGH_DEPTH).gbps
+        > 2 * _at(points, "write", 128 << 10, LOW_DEPTH).gbps
+    )
+
+
+def render(points: List[Point], title: str) -> Table:
+    table = Table(title, ["iodepth", "semantics", "block", "Gbps", "cpu%", "lat(us)"])
+    for p in points:
+        table.add_row(
+            p.iodepth,
+            p.semantics,
+            f"{p.block_size >> 10}K",
+            f"{p.gbps:.2f}",
+            f"{p.cpu_pct:.1f}",
+            f"{p.lat_us:.1f}",
+        )
+    return table

@@ -1,0 +1,125 @@
+"""Figures 8 & 9: GridFTP vs RFTP over the LAN testbeds.
+
+Memory-to-memory transfers across block sizes × stream counts, reporting
+aggregate bandwidth and client/server CPU utilisation — GridFTP rows and
+RFTP rows side by side, as in the paper's grouped bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.analysis import Table
+from repro.apps.gridftp import run_gridftp
+from repro.apps.rftp import run_rftp
+from repro.core import ProtocolConfig
+from repro.testbeds import Testbed
+
+__all__ = ["run", "check", "render", "BLOCK_SIZES", "STREAMS"]
+
+BLOCK_SIZES = (128 << 10, 512 << 10, 2 << 20, 8 << 20)
+STREAMS = (1, 8)
+#: Bytes moved per point — long enough for steady state, short enough
+#: for an interactive benchmark run.
+TOTAL_BYTES = 512 << 20
+
+
+@dataclass(frozen=True)
+class Point:
+    tool: str  # "gridftp" | "rftp"
+    block_size: int
+    streams: int
+    gbps: float
+    client_cpu_pct: float
+    server_cpu_pct: float
+
+
+def _rftp_config(block_size: int, streams: int) -> ProtocolConfig:
+    return ProtocolConfig(
+        block_size=block_size,
+        num_channels=streams,
+        source_blocks=32,
+        sink_blocks=32,
+    )
+
+
+def run(testbed_factory: Callable[[], Testbed]) -> List[Point]:
+    points: List[Point] = []
+    for streams in STREAMS:
+        for block_size in BLOCK_SIZES:
+            g = run_gridftp(
+                testbed_factory(), TOTAL_BYTES, streams=streams, block_size=block_size
+            )
+            points.append(
+                Point(
+                    "gridftp",
+                    block_size,
+                    streams,
+                    g.gbps,
+                    g.client_cpu_pct,
+                    g.server_cpu_pct,
+                )
+            )
+            r = run_rftp(
+                testbed_factory(), TOTAL_BYTES, _rftp_config(block_size, streams)
+            )
+            points.append(
+                Point(
+                    "rftp",
+                    block_size,
+                    streams,
+                    r.gbps,
+                    r.client_cpu_pct,
+                    r.server_cpu_pct,
+                )
+            )
+    return points
+
+
+def _sel(points: List[Point], tool: str, block_size: int, streams: int) -> Point:
+    for p in points:
+        if p.tool == tool and p.block_size == block_size and p.streams == streams:
+            return p
+    raise KeyError((tool, block_size, streams))
+
+
+def check(points: List[Point], bare_metal_gbps: float) -> None:
+    """The §V-C observations."""
+    for streams in STREAMS:
+        for bs in BLOCK_SIZES:
+            rftp = _sel(points, "rftp", bs, streams)
+            grid = _sel(points, "gridftp", bs, streams)
+            # RFTP saturates bare metal at every block size...
+            assert rftp.gbps > 0.85 * bare_metal_gbps, (bs, streams, rftp.gbps)
+            # ...and beats GridFTP decisively in bandwidth.
+            assert rftp.gbps > 1.5 * grid.gbps, (bs, streams)
+            # GridFTP's host burns more than one core total...
+            assert grid.client_cpu_pct > 100.0
+            # ...while RFTP needs less CPU than GridFTP to move more data.
+            assert rftp.client_cpu_pct < grid.client_cpu_pct
+    # RFTP CPU declines as block size grows (per stream count).
+    for streams in STREAMS:
+        cpu = [_sel(points, "rftp", bs, streams).client_cpu_pct for bs in BLOCK_SIZES]
+        assert cpu[-1] < cpu[0]
+    # GridFTP cannot exceed roughly half of bare metal on a 40G LAN.
+    assert all(
+        p.gbps < 0.6 * bare_metal_gbps for p in points if p.tool == "gridftp"
+    )
+
+
+def render(points: List[Point], title: str) -> Table:
+    table = Table(
+        title,
+        ["tool", "streams", "block", "Gbps", "client cpu%", "server cpu%"],
+    )
+    for p in points:
+        table.add_row(
+            p.tool,
+            p.streams,
+            f"{p.block_size >> 10}K",
+            f"{p.gbps:.2f}",
+            f"{p.client_cpu_pct:.0f}",
+            f"{p.server_cpu_pct:.0f}",
+        )
+    return table

@@ -1,0 +1,63 @@
+"""Table I: testbed description — rendered from the encoded configs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis import Table
+from repro.testbeds import TESTBEDS, Testbed
+
+__all__ = ["run", "check", "render"]
+
+
+def _row(tb: Testbed) -> Dict[str, str]:
+    cpus = {tb.src.spec.cpu_model, tb.dst.spec.cpu_model}
+    cores = (
+        f"{tb.src.spec.cores}"
+        if tb.src.spec.cores == tb.dst.spec.cores
+        else f"{tb.src.spec.cores}/{tb.dst.spec.cores}"
+    )
+    mem = (
+        f"{tb.src.spec.mem_bytes >> 30}"
+        if tb.src.spec.mem_bytes == tb.dst.spec.mem_bytes
+        else f"{tb.src.spec.mem_bytes >> 30}/{tb.dst.spec.mem_bytes >> 30}"
+    )
+    return {
+        "testbed": tb.name,
+        "arch": tb.arch.value,
+        "cpu": " + ".join(sorted(cpus)),
+        "cores": cores,
+        "mem_gb": mem,
+        "nic_gbps": f"{tb.nic_gbps:g}",
+        "tcp_cc": tb.tcp_cc,
+        "mtu": str(tb.mtu),
+        "rtt_ms": f"{tb.rtt * 1e3:g}",
+        "bare_metal_gbps": f"{tb.bare_metal_gbps:g}",
+    }
+
+
+def run() -> Dict[str, Dict[str, str]]:
+    """Build every testbed and extract its Table I row."""
+    return {name: _row(factory()) for name, factory in TESTBEDS.items()}
+
+
+def check(rows: Dict[str, Dict[str, str]]) -> None:
+    """The paper's Table I values must round-trip through the encodings."""
+    assert rows["roce-lan"]["nic_gbps"] == "40"
+    assert rows["roce-lan"]["rtt_ms"] == "0.025"
+    assert rows["roce-lan"]["tcp_cc"] == "bic"
+    assert rows["infiniband-lan"]["mtu"] == "65520"
+    assert rows["infiniband-lan"]["rtt_ms"] == "0.013"
+    assert float(rows["infiniband-lan"]["bare_metal_gbps"]) < 26
+    assert rows["ani-wan"]["nic_gbps"] == "10"
+    assert rows["ani-wan"]["rtt_ms"] == "49"
+    assert rows["ani-wan"]["cores"] == "16/8"
+    assert rows["ani-wan"]["mem_gb"] == "64/24"
+
+
+def render(rows: Dict[str, Dict[str, str]]) -> Table:
+    columns = list(next(iter(rows.values())).keys())
+    table = Table("Table I — testbed description", columns)
+    for row in rows.values():
+        table.add_row(*row.values())
+    return table

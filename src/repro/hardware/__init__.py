@@ -1,0 +1,30 @@
+"""Hardware models: CPUs, memory, PCIe, NICs, disks, and host assembly.
+
+These models provide the *cost structure* that shapes every experiment in
+the paper: finite CPU cores (a single-threaded application caps at one
+core), per-operation NIC work-queue processing time (small blocks cannot
+saturate the wire), a shared PCIe bus (the InfiniBand testbed's ~25 Gbps
+ceiling), and RAID disks whose effective rate depends on POSIX-vs-direct
+I/O CPU cost.
+"""
+
+from repro.hardware.cpu import CpuScheduler, CpuThread
+from repro.hardware.memory import MemoryBuffer, MemoryManager
+from repro.hardware.pci import PcieBus
+from repro.hardware.nic import Nic, NicProfile
+from repro.hardware.disk import DiskArray, DiskProfile
+from repro.hardware.host import Host, HostSpec
+
+__all__ = [
+    "CpuScheduler",
+    "CpuThread",
+    "DiskArray",
+    "DiskProfile",
+    "Host",
+    "HostSpec",
+    "MemoryBuffer",
+    "MemoryManager",
+    "Nic",
+    "NicProfile",
+    "PcieBus",
+]

@@ -1,0 +1,94 @@
+"""Host assembly: CPUs + memory + PCIe + NICs + optional disk array."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.hardware.cpu import CpuScheduler, CpuThread
+from repro.hardware.disk import DiskArray, DiskProfile
+from repro.hardware.memory import MemoryManager
+from repro.hardware.nic import Nic, NicProfile
+from repro.hardware.pci import PcieBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["Host", "HostSpec"]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static host parameters (the per-testbed rows of Table I).
+
+    Per-byte CPU costs are expressed in nanoseconds per byte on one core;
+    they encode memcpy/memset throughput of the testbed's CPUs.
+    """
+
+    name: str
+    cores: int
+    mem_bytes: int
+    #: Effective PCIe bandwidth between NIC and memory, Gbps.  This is the
+    #: bare-metal ceiling on the InfiniBand testbed (8-lane PCIe 2.0).
+    pcie_gbps: float
+    cpu_model: str = ""
+    #: user<->kernel copy cost (TCP send/recv path), ns/byte.
+    memcpy_ns_per_byte: float = 0.62
+    #: Cost of sourcing data from /dev/zero (page-zeroing memset), ns/byte.
+    memset_ns_per_byte: float = 0.16
+    #: Per-syscall overhead, seconds.
+    syscall_seconds: float = 1.5e-6
+    #: Interrupt / completion-event wakeup cost, seconds.
+    interrupt_seconds: float = 2.0e-6
+    #: Kernel TCP per-byte cost that runs on other cores (softirq, skb
+    #: handling); charged as background CPU, ns/byte.
+    tcp_kernel_ns_per_byte: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.mem_bytes <= 0:
+            raise ValueError("memory must be positive")
+        if self.pcie_gbps <= 0:
+            raise ValueError("PCIe bandwidth must be positive")
+
+
+class Host:
+    """A simulated end host."""
+
+    def __init__(self, engine: "Engine", spec: HostSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.name = spec.name
+        self.cpu = CpuScheduler(engine, spec.cores)
+        self.memory = MemoryManager(capacity=spec.mem_bytes)
+        self.pcie = PcieBus(engine, spec.pcie_gbps)
+        self.nics: List[Nic] = []
+        self.disk: Optional[DiskArray] = None
+        self._thread_seq = 0
+
+    def add_nic(self, profile: NicProfile) -> Nic:
+        """Install a NIC and return it."""
+        nic = Nic(self.engine, self, profile, f"{self.name}.nic{len(self.nics)}")
+        self.nics.append(nic)
+        return nic
+
+    def add_disk(self, profile: Optional[DiskProfile] = None) -> DiskArray:
+        """Install a disk array (replacing any existing one)."""
+        self.disk = DiskArray(self.engine, profile or DiskProfile(), f"{self.name}.raid")
+        return self.disk
+
+    @property
+    def nic(self) -> Nic:
+        """The host's primary NIC."""
+        if not self.nics:
+            raise RuntimeError(f"host {self.name} has no NIC installed")
+        return self.nics[0]
+
+    def thread(self, name: str, group: str = "app") -> CpuThread:
+        """Create a new OS-thread handle charged to accounting ``group``."""
+        self._thread_seq += 1
+        return CpuThread(self.cpu, f"{self.name}.{name}#{self._thread_seq}", group)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} cores={self.spec.cores}>"

@@ -1,0 +1,21 @@
+"""Network fabric: links, multi-hop paths, and testbed topologies.
+
+Timing is modelled at transfer-unit granularity (a block or a control
+message), not per Ethernet frame: each unit serialises FIFO through every
+link of its path and then experiences the path's propagation delay.
+Because links are independent FIFO resources, units pipeline across hops
+and steady-state throughput equals the bottleneck link rate — the property
+that matters for reproducing the paper's bandwidth curves.
+"""
+
+from repro.network.link import Link
+from repro.network.fabric import DuplexPath, Path, back_to_back, lan_switched, wan_path
+
+__all__ = [
+    "DuplexPath",
+    "Link",
+    "Path",
+    "back_to_back",
+    "lan_switched",
+    "wan_path",
+]

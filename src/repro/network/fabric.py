@@ -1,0 +1,161 @@
+"""Multi-hop paths and the three testbed topologies from Table I."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Sequence, Tuple
+
+from repro.network.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["Path", "DuplexPath", "back_to_back", "lan_switched", "wan_path"]
+
+
+class Path:
+    """An ordered sequence of links from one host's NIC to another's.
+
+    A transfer unit serialises through each link in order (store-and-
+    forward at block granularity) and then waits the summed propagation
+    delay.  Small control messages use :meth:`deliver_latency` — pure
+    latency plus a negligible serialisation on the bottleneck.
+    """
+
+    def __init__(self, engine: "Engine", links: Sequence[Link], name: str = "path") -> None:
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.engine = engine
+        self.links: List[Link] = list(links)
+        self.name = name
+
+    @property
+    def bottleneck_gbps(self) -> float:
+        """Rate of the slowest link on the path."""
+        return min(link.gbps for link in self.links)
+
+    @property
+    def bottleneck_bytes_per_second(self) -> float:
+        return self.bottleneck_gbps * 1e9 / 8.0
+
+    @property
+    def latency(self) -> float:
+        """One-way propagation delay (sum over hops), seconds."""
+        return sum(link.delay for link in self.links)
+
+    @property
+    def mtu(self) -> int:
+        return min(link.mtu for link in self.links)
+
+    def transmit(self, nbytes: int) -> Generator:
+        """Process generator: move ``nbytes`` along the path.
+
+        Completes when the last byte arrives at the far end.  Consecutive
+        transfers pipeline across hops because each link is an independent
+        FIFO resource.
+        """
+        for link in self.links:
+            yield from link.serialize(nbytes)
+        delay = self.latency
+        if delay > 0:
+            yield self.engine.timeout(delay)
+
+    def deliver_latency(self, nbytes: int = 64) -> Generator:
+        """Process generator: deliver a small control datagram.
+
+        Serialises only on the bottleneck (the rest is negligible at this
+        granularity), then propagates.
+        """
+        rate = self.bottleneck_bytes_per_second
+        wait = self.latency + nbytes / rate
+        if wait > 0:
+            yield self.engine.timeout(wait)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        hops = " -> ".join(link.name for link in self.links)
+        return f"<Path {self.name}: {hops}>"
+
+
+class DuplexPath:
+    """A pair of directed paths between two endpoints (full duplex)."""
+
+    def __init__(self, forward: Path, backward: Path) -> None:
+        self.forward = forward
+        self.backward = backward
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation delay in seconds."""
+        return self.forward.latency + self.backward.latency
+
+    def reversed(self) -> "DuplexPath":
+        """The same channel viewed from the other endpoint."""
+        return DuplexPath(self.backward, self.forward)
+
+
+def back_to_back(
+    engine: "Engine",
+    gbps: float,
+    rtt: float,
+    mtu: int = 9000,
+    name: str = "b2b",
+) -> DuplexPath:
+    """Two hosts joined by one cable (the RoCE LAN testbed).
+
+    ``rtt`` is the measured round-trip time; each direction gets half.
+    """
+    half = rtt / 2.0
+    fwd = Link(engine, gbps, half, mtu, f"{name}.fwd")
+    bwd = Link(engine, gbps, half, mtu, f"{name}.bwd")
+    return DuplexPath(
+        Path(engine, [fwd], f"{name}.fwd"),
+        Path(engine, [bwd], f"{name}.bwd"),
+    )
+
+
+def lan_switched(
+    engine: "Engine",
+    gbps: float,
+    rtt: float,
+    mtu: int = 65520,
+    name: str = "lan",
+) -> DuplexPath:
+    """Two hosts through one switch (the InfiniBand QDR LAN testbed)."""
+    quarter = rtt / 4.0
+    fwd = [
+        Link(engine, gbps, quarter, mtu, f"{name}.a-sw"),
+        Link(engine, gbps, quarter, mtu, f"{name}.sw-b"),
+    ]
+    bwd = [
+        Link(engine, gbps, quarter, mtu, f"{name}.b-sw"),
+        Link(engine, gbps, quarter, mtu, f"{name}.sw-a"),
+    ]
+    return DuplexPath(
+        Path(engine, fwd, f"{name}.fwd"),
+        Path(engine, bwd, f"{name}.bwd"),
+    )
+
+
+def wan_path(
+    engine: "Engine",
+    nic_gbps: float,
+    rtt: float,
+    backbone_gbps: float = 100.0,
+    mtu: int = 9000,
+    name: str = "wan",
+) -> DuplexPath:
+    """A long-haul circuit: 10G host links into a 100G backbone (ANI).
+
+    The backbone carries essentially all the propagation delay; the edge
+    links are local.
+    """
+    half = rtt / 2.0
+
+    def one_way(tag: str) -> Path:
+        links = [
+            Link(engine, nic_gbps, 1e-6, mtu, f"{name}.{tag}.edge-in"),
+            Link(engine, backbone_gbps, max(half - 2e-6, 0.0), mtu, f"{name}.{tag}.core"),
+            Link(engine, nic_gbps, 1e-6, mtu, f"{name}.{tag}.edge-out"),
+        ]
+        return Path(engine, links, f"{name}.{tag}")
+
+    return DuplexPath(one_way("fwd"), one_way("bwd"))

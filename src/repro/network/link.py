@@ -1,0 +1,86 @@
+"""A unidirectional network link with serialisation and propagation."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.monitor import Counter
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a cable or provisioned circuit.
+
+    Parameters
+    ----------
+    gbps:
+        Line rate in gigabits per second.
+    delay:
+        One-way propagation delay in seconds.
+    mtu:
+        Maximum transmission unit in bytes.  Only enforced for callers that
+        ask (:meth:`check_mtu`); bulk RDMA transfers are segmented by
+        hardware below the granularity we simulate.
+    name:
+        Label for tracing and error messages.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        gbps: float,
+        delay: float = 0.0,
+        mtu: int = 9000,
+        name: str = "link",
+    ) -> None:
+        if gbps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.engine = engine
+        self.gbps = gbps
+        self.bytes_per_second = gbps * 1e9 / 8.0
+        self.delay = delay
+        self.mtu = mtu
+        self.name = name
+        self._wire = Resource(engine, capacity=1)
+        self.bytes_sent = Counter(f"{name}.bytes")
+
+    def serialize(self, nbytes: int) -> Generator:
+        """Process generator: occupy the wire while ``nbytes`` serialise.
+
+        Propagation delay is *not* included; multi-hop paths add the summed
+        propagation once (see :class:`~repro.network.fabric.Path`).
+        """
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if nbytes == 0:
+            return
+        yield self._wire.request()
+        try:
+            yield self.engine.timeout(nbytes / self.bytes_per_second)
+        finally:
+            self._wire.release()
+        self.bytes_sent.add(nbytes)
+
+    def check_mtu(self, nbytes: int) -> None:
+        """Raise if a single unsegmented datagram exceeds the link MTU."""
+        if nbytes > self.mtu:
+            raise ValueError(
+                f"datagram of {nbytes} bytes exceeds MTU {self.mtu} on {self.name}"
+            )
+
+    def utilization(self, since: float, until: float) -> float:
+        """Fraction of capacity used over a window (needs ``bytes_sent``)."""
+        span = until - since
+        if span <= 0:
+            return 0.0
+        return self.bytes_sent.total / (self.bytes_per_second * span)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} {self.gbps}Gbps delay={self.delay * 1e3:.3f}ms>"

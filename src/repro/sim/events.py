@@ -1,0 +1,213 @@
+"""Core event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with an optional value.  Events
+move through three states: *pending* (created, not yet triggered),
+*triggered* (scheduled on the engine's heap with a value or exception) and
+*processed* (callbacks have run).  Processes wait on events by ``yield``-ing
+them; the engine resumes the process when the event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "StopEngine"]
+
+_PENDING = object()
+
+
+class StopEngine(Exception):
+    """Raised to stop :meth:`Engine.run` after the current event.
+
+    Propagates out of processes and callbacks untouched so that
+    ``engine.stop()`` works from any context.
+    """
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Parameters
+    ----------
+    engine:
+        The engine the event belongs to.  Triggering schedules the event on
+        this engine's queue.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        #: Callbacks invoked (in order) when the event is processed.  Set to
+        #: ``None`` once processed; adding callbacks afterwards is an error.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event not yet triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside any process waiting on the event.
+        A failed event nobody waits on raises at engine level unless
+        :meth:`defuse` was called.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._push(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defuse(self) -> "Event":
+        """Mark a potential failure as handled out-of-band."""
+        self._defused = True
+        return self
+
+    # -- composition -------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.engine, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.engine, [self, other])
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            raise RuntimeError("cannot add callback to a processed event")
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._push(self, delay=delay)
+
+
+class Condition(Event):
+    """Waits on a set of events until :meth:`_satisfied` holds.
+
+    A failed child event fails the condition immediately (the child is
+    defused so the failure is not reported twice).
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events: List[Event] = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise ValueError("all events must belong to the same engine")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.triggered and ev._ok
+        }
+
+
+class AllOf(Condition):
+    """Succeeds once *all* child events have succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Succeeds once *any* child event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

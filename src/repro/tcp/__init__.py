@@ -1,0 +1,34 @@
+"""Kernel TCP stack simulation for the GridFTP baseline.
+
+Two complementary fidelity levels, selected per testbed:
+
+- **pipe mode** (LAN): the bandwidth-delay product is a few segments, so
+  congestion control is never the binding constraint — the host CPU is.
+  Connections stream chunks straight through the shared
+  :class:`~repro.network.fabric.Path` links, paying user/kernel copy and
+  syscall CPU.
+- **fluid mode** (WAN): a round-based (one step per RTT)
+  congestion-window simulation over a shared drop-tail bottleneck, with
+  Reno, CUBIC, BIC and H-TCP window-update rules.  This reproduces the
+  single-stream underutilisation on a 49 ms path and its partial recovery
+  with parallel streams — the behaviour GridFTP's WAN numbers hinge on.
+"""
+
+from repro.tcp.congestion import CongestionControl, Reno
+from repro.tcp.cubic import Cubic
+from repro.tcp.bic import Bic
+from repro.tcp.htcp import HTcp
+from repro.tcp.bottleneck import Bottleneck
+from repro.tcp.connection import TcpConnection, TcpMode, make_congestion_control
+
+__all__ = [
+    "Bic",
+    "Bottleneck",
+    "CongestionControl",
+    "Cubic",
+    "HTcp",
+    "Reno",
+    "TcpConnection",
+    "TcpMode",
+    "make_congestion_control",
+]

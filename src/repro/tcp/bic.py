@@ -1,0 +1,56 @@
+"""BIC congestion control (Xu, Harfoush, Rhee — Binary Increase Congestion
+control), the default on the RoCE-LAN testbed hosts of Table I.
+
+Between the window after a loss (``w_min``) and the window where the loss
+occurred (``w_max``) BIC performs a binary search, moving halfway each
+round but never more than ``S_MAX`` segments; past ``w_max`` it enters
+max-probing with exponentially growing steps.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion import CongestionControl
+
+__all__ = ["Bic"]
+
+
+class Bic(CongestionControl):
+    name = "bic"
+
+    #: Multiplicative decrease factor.
+    BETA = 0.8
+    #: Binary-search step clamps, in segments.
+    S_MAX = 32.0
+    S_MIN = 0.01
+    #: Windows smaller than this use plain Reno behaviour.
+    LOW_WINDOW = 14.0
+
+    def __init__(self, mss: int = 8948) -> None:
+        super().__init__(mss)
+        self.w_max = float("inf")
+        self._probe_step = 1.0
+
+    def _avoid(self, acked_seg: float, now: float, rtt: float) -> None:
+        if self.cwnd_seg < self.LOW_WINDOW:
+            self.cwnd_seg += min(acked_seg / self.cwnd_seg, 1.0)
+            return
+        if self.cwnd_seg < self.w_max:
+            # Binary search toward the last known saturation point.
+            inc = (self.w_max - self.cwnd_seg) / 2.0
+            inc = min(max(inc, self.S_MIN), self.S_MAX)
+            self._probe_step = 1.0
+        else:
+            # Max probing: accelerate away from w_max.
+            inc = min(self._probe_step, self.S_MAX)
+            self._probe_step = min(self._probe_step * 2.0, self.S_MAX)
+        self.cwnd_seg += inc
+
+    def _backoff(self, now: float) -> None:
+        if self.cwnd_seg < self.w_max:
+            # Fast convergence: a flow still below the old ceiling gives
+            # ground so newcomers can catch up.
+            self.w_max = self.cwnd_seg * (2.0 - self.BETA) / 2.0
+        else:
+            self.w_max = self.cwnd_seg
+        self.cwnd_seg *= self.BETA
+        self._probe_step = 1.0

@@ -1,0 +1,54 @@
+"""H-TCP congestion control (Leith & Shorten), used on the NERSC WAN host.
+
+The additive-increase factor grows with the *time since the last loss*:
+
+    alpha(D) = 1                                   for D <= D_L
+    alpha(D) = 1 + 10 (D - D_L) + ((D - D_L)/2)^2  for D  > D_L
+
+scaled by 2(1 - beta) for backoff fairness; beta adapts to the ratio of
+minimum to maximum observed RTT, bounded to [0.5, 0.8].
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion import CongestionControl
+
+__all__ = ["HTcp"]
+
+
+class HTcp(CongestionControl):
+    name = "htcp"
+
+    #: Low-speed regime threshold, seconds since last backoff.
+    DELTA_L = 1.0
+
+    def __init__(self, mss: int = 8948) -> None:
+        super().__init__(mss)
+        self._last_backoff: float = 0.0
+        self._rtt_min = float("inf")
+        self._rtt_max = 0.0
+        self.beta = 0.5
+
+    def _observe_rtt(self, rtt: float) -> None:
+        self._rtt_min = min(self._rtt_min, rtt)
+        self._rtt_max = max(self._rtt_max, rtt)
+
+    def _alpha(self, now: float) -> float:
+        delta = now - self._last_backoff
+        if delta <= self.DELTA_L:
+            alpha = 1.0
+        else:
+            excess = delta - self.DELTA_L
+            alpha = 1.0 + 10.0 * excess + (excess / 2.0) ** 2
+        return 2.0 * (1.0 - self.beta) * alpha
+
+    def _avoid(self, acked_seg: float, now: float, rtt: float) -> None:
+        self._observe_rtt(rtt)
+        utilisation = min(acked_seg / max(self.cwnd_seg, 1e-9), 1.0)
+        self.cwnd_seg += self._alpha(now) * utilisation
+
+    def _backoff(self, now: float) -> None:
+        if self._rtt_max > 0:
+            self.beta = min(max(self._rtt_min / self._rtt_max, 0.5), 0.8)
+        self._last_backoff = now
+        self.cwnd_seg *= self.beta

@@ -1,0 +1,119 @@
+"""Completion queues and completion channels.
+
+A :class:`CompletionQueue` collects :class:`~repro.verbs.wr.WorkCompletion`
+entries from the NIC.  Applications either busy-poll (:meth:`poll`, cheap
+per CQE, burns a little CPU when empty) or block on a
+:class:`CompletionChannel` (:meth:`wait`, one interrupt-cost wakeup per
+event batch) — the trade-off behind the paper's observation that larger
+blocks mean fewer interrupts and lower CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, List, Optional
+
+from repro.sim.events import Event
+from repro.verbs.wr import WorkCompletion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.cpu import CpuThread
+    from repro.verbs.device import Device
+
+__all__ = ["CompletionQueue", "CompletionChannel"]
+
+
+class CompletionQueue:
+    """A bounded queue of work completions."""
+
+    def __init__(self, device: "Device", depth: int = 4096) -> None:
+        if depth < 1:
+            raise ValueError("CQ depth must be >= 1")
+        self.device = device
+        self.engine = device.engine
+        self.depth = depth
+        self._entries: Deque[WorkCompletion] = deque()
+        self.channel: Optional[CompletionChannel] = None
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- producer side (called by QPs / NIC logic) -----------------------------
+    def push(self, wc: WorkCompletion) -> None:
+        """Add a completion; notify any armed channel."""
+        wc.timestamp = self.engine.now
+        if len(self._entries) >= self.depth:
+            # Real hardware moves the QP to error on CQ overrun; we record
+            # and drop, which tests assert never happens in healthy runs.
+            self.overflows += 1
+            return
+        self._entries.append(wc)
+        if self.channel is not None:
+            self.channel._notify()
+
+    # -- consumer side -----------------------------------------------------------
+    def poll(self, thread: "CpuThread", max_entries: int = 16):
+        """Process event: reap up to ``max_entries`` completions.
+
+        Charges per-CQE poll cost (or the empty-poll cost) to ``thread``
+        and resolves to a list of completions (possibly empty).
+        """
+        profile = self.device.arch_profile
+
+        def _poll() -> Generator:
+            batch: List[WorkCompletion] = []
+            while self._entries and len(batch) < max_entries:
+                batch.append(self._entries.popleft())
+            if batch:
+                cost = len(batch) * profile.poll_cqe_seconds
+            else:
+                cost = profile.poll_empty_seconds
+            yield thread.exec(cost)
+            return batch
+
+        return self.engine.process(_poll())
+
+    def poll_nocost(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Synchronous, zero-cost reap for tests and setup phases."""
+        batch: List[WorkCompletion] = []
+        while self._entries and len(batch) < max_entries:
+            batch.append(self._entries.popleft())
+        return batch
+
+
+class CompletionChannel:
+    """Event-driven notification (``ibv_get_cq_event`` analogue)."""
+
+    def __init__(self, cq: CompletionQueue) -> None:
+        if cq.channel is not None:
+            raise RuntimeError("CQ already has a completion channel")
+        self.cq = cq
+        self.engine = cq.engine
+        cq.channel = self
+        self._waiter: Optional[Event] = None
+
+    def _notify(self) -> None:
+        if self._waiter is not None and not self._waiter.triggered:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed()
+
+    def wait(self, thread: "CpuThread"):
+        """Process event: block until the CQ is non-empty.
+
+        Charges one interrupt-wakeup cost when the event fires; returns
+        immediately (still charging the wakeup) if completions are already
+        pending — matching the ack-and-rearm dance of the real API.
+        """
+        profile = self.cq.device.arch_profile
+
+        def _wait() -> Generator:
+            if not len(self.cq):
+                if self._waiter is not None:
+                    raise RuntimeError("completion channel supports one waiter")
+                self._waiter = Event(self.engine)
+                yield self._waiter
+            interrupt = self.cq.device.host.spec.interrupt_seconds
+            yield thread.exec(interrupt + profile.cq_event_seconds)
+
+        return self.engine.process(_wait())

@@ -1,0 +1,62 @@
+"""Device contexts: the root object of the simulated verbs API."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.verbs.arch import ArchProfile, RdmaArch
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.pd import ProtectionDomain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.host import Host
+    from repro.hardware.nic import Nic
+    from repro.sim.engine import Engine
+    from repro.verbs.qp import QueuePair
+
+__all__ = ["Device"]
+
+_guid = itertools.count(0x2C90_0000)
+
+
+class Device:
+    """An opened RDMA device context (``ibv_context`` analogue).
+
+    Binds one NIC to an architecture cost profile and acts as the factory
+    for PDs, CQs, and QPs.
+    """
+
+    def __init__(
+        self,
+        nic: "Nic",
+        arch: RdmaArch = RdmaArch.ROCE,
+        arch_profile: Optional[ArchProfile] = None,
+    ) -> None:
+        self.nic = nic
+        self.host: "Host" = nic.host
+        self.engine: "Engine" = nic.engine
+        self.arch = arch
+        self.arch_profile = arch_profile or ArchProfile.for_arch(arch)
+        self.guid = next(_guid)
+        self.qps: List["QueuePair"] = []
+        self._qp_num = itertools.count(1)
+
+    def alloc_pd(self) -> ProtectionDomain:
+        """Allocate a protection domain."""
+        return ProtectionDomain(self)
+
+    def create_cq(self, depth: int = 4096) -> CompletionQueue:
+        """Create a completion queue."""
+        return CompletionQueue(self, depth)
+
+    def create_qp(self, *args, **kwargs) -> "QueuePair":
+        """Create a queue pair (see :class:`~repro.verbs.qp.QueuePair`)."""
+        from repro.verbs.qp import QueuePair
+
+        qp = QueuePair(self, next(self._qp_num), *args, **kwargs)
+        self.qps.append(qp)
+        return qp
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Device {self.arch.value} guid={self.guid:#x} on {self.host.name}>"

@@ -1,0 +1,31 @@
+"""Verbs-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = [
+    "VerbsError",
+    "QpStateError",
+    "QueueFullError",
+    "RemoteAccessError",
+    "MtuExceededError",
+]
+
+
+class VerbsError(Exception):
+    """Base class for all verbs-layer errors."""
+
+
+class QpStateError(VerbsError):
+    """Operation attempted in a QP state that does not allow it."""
+
+
+class QueueFullError(VerbsError):
+    """Posting would exceed the queue's configured depth."""
+
+
+class RemoteAccessError(VerbsError):
+    """rkey validation or bounds check failed on a one-sided operation."""
+
+
+class MtuExceededError(VerbsError):
+    """A UD datagram exceeds the path MTU."""

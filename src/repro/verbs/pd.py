@@ -1,0 +1,88 @@
+"""Protection domains: the registration authority for memory regions."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from repro.hardware.memory import MemoryBuffer
+from repro.verbs.mr import AccessFlags, MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.cpu import CpuThread
+    from repro.verbs.device import Device
+
+__all__ = ["ProtectionDomain"]
+
+_pd_handles = itertools.count(1)
+
+
+class ProtectionDomain:
+    """Scopes memory registrations and QPs to one device context."""
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.handle = next(_pd_handles)
+        self._key_seq = itertools.count(0x1000)
+        self._regions: Dict[int, MemoryRegion] = {}  # by rkey
+
+    def reg_mr(
+        self,
+        thread: "CpuThread",
+        buffer: MemoryBuffer,
+        access: AccessFlags = AccessFlags.LOCAL_WRITE,
+    ):
+        """Register ``buffer`` (process event; charges pinning CPU cost).
+
+        Returns a process whose value is the :class:`MemoryRegion` —
+        registration pins pages and is deliberately expensive, which is
+        why the middleware registers once and reuses regions.
+        """
+        profile = self.device.arch_profile
+        cost = (
+            profile.reg_mr_base_seconds
+            + buffer.pages * profile.reg_mr_page_seconds
+        )
+
+        def _register() -> Generator:
+            yield thread.exec(cost)
+            return self._admit(buffer, access)
+
+        return self.device.engine.process(_register())
+
+    def reg_mr_sync(
+        self,
+        buffer: MemoryBuffer,
+        access: AccessFlags = AccessFlags.LOCAL_WRITE,
+    ) -> MemoryRegion:
+        """Zero-time registration for test fixtures and setup phases."""
+        return self._admit(buffer, access)
+
+    def _admit(self, buffer: MemoryBuffer, access: AccessFlags) -> MemoryRegion:
+        key = next(self._key_seq)
+        mr = MemoryRegion(
+            buffer,
+            lkey=key,
+            rkey=key | 0x8000_0000,
+            access=access | AccessFlags.LOCAL_WRITE,
+            pd_handle=self.handle,
+        )
+        self._regions[mr.rkey] = mr
+        return mr
+
+    def dereg_mr(self, mr: MemoryRegion) -> None:
+        """Deregister: removes remote access rights immediately."""
+        mr.invalidate()
+        self._regions.pop(mr.rkey, None)
+
+    def lookup_rkey(self, rkey: Optional[int]) -> Optional[MemoryRegion]:
+        """Resolve an rkey presented by a remote peer."""
+        if rkey is None:
+            return None
+        return self._regions.get(rkey)
+
+    def lookup_lkey(self, lkey: Optional[int]) -> Optional[MemoryRegion]:
+        """Resolve a local key on a posted WR (lkey == rkey & ~high bit)."""
+        if lkey is None:
+            return None
+        return self._regions.get(lkey | 0x8000_0000)

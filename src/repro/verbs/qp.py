@@ -1,0 +1,375 @@
+"""Queue pairs: RC and UD transports with faithful completion semantics.
+
+The RC (Reliable Connected) QP implements what the paper's protocol
+relies on:
+
+- **Asynchronous depth**: many WRs execute concurrently; ordering is
+  preserved only where hardware FIFO stages (NIC WQE pipeline, PCIe bus,
+  link) impose it, and *completions* are delivered strictly in post order
+  per QP (RC ordering rule).
+- **SEND/RECV (channel semantics)**: two-sided; the responder must have
+  pre-posted a receive WR or the sender gets an RNR NAK and retries after
+  the RNR timer — the exact failure mode whose avoidance motivates the
+  middleware's credit scheme.
+- **RDMA WRITE (memory semantics)**: one-sided; payload lands in a
+  remote, rkey-validated region with no responder CQE (unless WRITE-with-
+  immediate is used) and no responder CPU.
+- **RDMA READ**: one-sided with a request round-trip, the responder's
+  read-engine gap, and at most ``max_ord`` requests outstanding — which
+  caps READ throughput at ``ord * block / RTT`` on long paths.
+- **UD**: datagrams bounded by path MTU, no acknowledgement, silent drop
+  when no receive WR is posted.
+
+CPU cost of *posting* is charged by callers via
+:meth:`QueuePair.post_send_cost`-style helpers in the middleware layer;
+the QP itself consumes no host CPU (kernel bypass).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Generator, Optional
+
+from repro.sim.monitor import Counter
+from repro.sim.resources import Resource
+from repro.verbs.errors import (
+    MtuExceededError,
+    QpStateError,
+    QueueFullError,
+    RemoteAccessError,
+)
+from repro.verbs.wr import Opcode, RecvWR, SendWR, WcStatus, WorkCompletion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.fabric import DuplexPath, Path
+    from repro.verbs.cq import CompletionQueue
+    from repro.verbs.device import Device
+    from repro.verbs.pd import ProtectionDomain
+
+__all__ = ["QpType", "QpState", "QueuePair", "connect_pair"]
+
+#: Per the InfiniBand spec, an RNR retry count of 7 means "retry forever".
+RNR_RETRY_INFINITE = 7
+
+
+class QpType(enum.Enum):
+    RC = "rc"
+    UD = "ud"
+
+
+class QpState(enum.Enum):
+    RESET = "reset"
+    INIT = "init"
+    RTR = "rtr"
+    RTS = "rts"
+    ERROR = "error"
+
+
+class QueuePair:
+    """One endpoint of an RDMA channel."""
+
+    def __init__(
+        self,
+        device: "Device",
+        qp_num: int,
+        pd: "ProtectionDomain",
+        send_cq: "CompletionQueue",
+        recv_cq: "CompletionQueue",
+        qp_type: QpType = QpType.RC,
+        max_send_wr: int = 512,
+        max_recv_wr: int = 1024,
+        max_ord: Optional[int] = None,
+        rnr_retry: int = RNR_RETRY_INFINITE,
+        rnr_timer: float = 0.12e-3,
+    ) -> None:
+        if max_send_wr < 1 or max_recv_wr < 1:
+            raise ValueError("queue depths must be >= 1")
+        self.device = device
+        self.engine = device.engine
+        self.qp_num = qp_num
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.qp_type = qp_type
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.rnr_retry = rnr_retry
+        self.rnr_timer = rnr_timer
+        self.state = QpState.INIT
+
+        nic_ord = device.nic.profile.max_ord
+        self.max_ord = min(max_ord, nic_ord) if max_ord else nic_ord
+        self._ord = Resource(self.engine, capacity=self.max_ord)
+
+        self.peer: Optional["QueuePair"] = None
+        self.path: Optional["Path"] = None  # self -> peer
+        self.rpath: Optional["Path"] = None  # peer -> self
+
+        self._recv_queue: Deque[RecvWR] = deque()
+        self._outstanding_sends = 0
+        self._ssn = 0  # send sequence number (post order)
+        self._next_complete = 0
+        self._done: Dict[int, Optional[WorkCompletion]] = {}
+
+        self.rnr_naks = Counter(f"qp{qp_num}.rnr_naks")
+        self.ud_drops = Counter(f"qp{qp_num}.ud_drops")
+        self.bytes_sent = Counter(f"qp{qp_num}.bytes_sent")
+        #: Optional fault hook ``(SendWR) -> bool``: return True to fail
+        #: the WR with :data:`WcStatus.SIM_FAULT` after it crosses the
+        #: wire (payload is discarded; the QP survives).  Testing only.
+        self.fault_injector: Optional[object] = None
+
+    # -- wiring ------------------------------------------------------------------
+    def attach(self, peer: "QueuePair", duplex: "DuplexPath") -> None:
+        """Bind this QP to its peer over a duplex path and move to RTS."""
+        if self.state is QpState.ERROR:
+            raise QpStateError("cannot attach a QP in ERROR state")
+        self.peer = peer
+        self.path = duplex.forward
+        self.rpath = duplex.backward
+        self.state = QpState.RTS
+
+    # -- receive side ---------------------------------------------------------------
+    def post_recv(self, wr: RecvWR) -> None:
+        """Queue a receive buffer (no timing; CPU cost charged by caller)."""
+        if self.state in (QpState.RESET, QpState.ERROR):
+            raise QpStateError(f"post_recv in state {self.state.value}")
+        if len(self._recv_queue) >= self.max_recv_wr:
+            raise QueueFullError("receive queue full")
+        self._recv_queue.append(wr)
+
+    @property
+    def recv_posted(self) -> int:
+        """Number of receive WRs currently posted."""
+        return len(self._recv_queue)
+
+    # -- send side --------------------------------------------------------------
+    @property
+    def send_outstanding(self) -> int:
+        """Number of send-queue WRs not yet completed."""
+        return self._outstanding_sends
+
+    @property
+    def send_room(self) -> int:
+        """Free send-queue slots."""
+        return self.max_send_wr - self._outstanding_sends
+
+    def post_send(self, wr: SendWR) -> None:
+        """Post a work request; execution proceeds asynchronously."""
+        if self.state is not QpState.RTS:
+            raise QpStateError(f"post_send in state {self.state.value}")
+        if self._outstanding_sends >= self.max_send_wr:
+            raise QueueFullError("send queue full")
+        if self.qp_type is QpType.UD:
+            assert self.path is not None
+            if wr.length > self.path.mtu:
+                raise MtuExceededError(
+                    f"UD datagram {wr.length} exceeds path MTU {self.path.mtu}"
+                )
+            if wr.opcode is not Opcode.SEND:
+                raise QpStateError("UD supports only SEND")
+        self._outstanding_sends += 1
+        ssn = self._ssn
+        self._ssn += 1
+        self.engine.trace(
+            "qp", "post_send",
+            qp=self.qp_num, op=wr.opcode.value, wr_id=wr.wr_id, len=wr.length,
+        )
+        self.engine.process(self._execute(wr, ssn))
+
+    # -- execution ----------------------------------------------------------------
+    def _execute(self, wr: SendWR, ssn: int) -> Generator:
+        assert self.peer is not None and self.path is not None
+        assert self.rpath is not None
+        nic = self.device.nic
+        peer = self.peer
+        status = WcStatus.SUCCESS
+        try:
+            if self.state is QpState.ERROR:
+                status = WcStatus.WR_FLUSH_ERR
+            elif wr.opcode is Opcode.SEND:
+                status = yield from self._do_send(wr, nic, peer)
+            elif wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
+                status = yield from self._do_write(wr, nic, peer)
+            elif wr.opcode is Opcode.RDMA_READ:
+                status = yield from self._do_read(wr, nic, peer)
+            else:  # pragma: no cover - defensive
+                raise QpStateError(f"unsupported opcode {wr.opcode}")
+        finally:
+            wc = WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                status=status,
+                byte_len=wr.length,
+                qp_num=self.qp_num,
+            )
+            self._retire(ssn, wc, signaled=wr.signaled)
+        if status is WcStatus.SUCCESS:
+            self.bytes_sent.add(wr.length)
+        elif status is not WcStatus.SIM_FAULT:
+            # Real RC errors are fatal to the QP; injected transient
+            # faults leave it usable so recovery paths can be tested.
+            self._enter_error()
+
+    def _do_send(self, wr: SendWR, nic, peer: "QueuePair") -> Generator:
+        yield from nic.process_wqe()
+        yield from nic.dma_fetch(wr.length)
+        attempts = 0
+        while True:
+            yield from self.path.transmit(wr.length)
+            if self.qp_type is QpType.UD:
+                # Unreliable: local completion as soon as it is on the wire.
+                peer._deliver_datagram(wr)
+                return WcStatus.SUCCESS
+            if peer._recv_queue:
+                break
+            # Receiver Not Ready: NAK travels back, wait RNR timer, retry.
+            self.rnr_naks.add()
+            attempts += 1
+            if self.rnr_retry != RNR_RETRY_INFINITE and attempts > self.rnr_retry:
+                return WcStatus.RNR_RETRY_EXC_ERR
+            yield from self.rpath.deliver_latency()
+            yield self.engine.timeout(self.rnr_timer)
+        rwr = peer._recv_queue.popleft()
+        if wr.length > rwr.length:
+            return WcStatus.LOC_LEN_ERR
+        yield from peer.device.nic.dma_place(wr.length)
+        peer.recv_cq.push(
+            WorkCompletion(
+                wr_id=rwr.wr_id,
+                opcode=Opcode.RECV,
+                status=WcStatus.SUCCESS,
+                byte_len=wr.length,
+                payload=wr.payload,
+                qp_num=peer.qp_num,
+            )
+        )
+        yield from self.rpath.deliver_latency()  # hardware ACK
+        return WcStatus.SUCCESS
+
+    def _do_write(self, wr: SendWR, nic, peer: "QueuePair") -> Generator:
+        target = peer.pd.lookup_rkey(wr.rkey)
+        yield from nic.process_wqe()
+        yield from nic.dma_fetch(wr.length)
+        yield from self.path.transmit(wr.length)
+        if self.fault_injector is not None and self.fault_injector(wr):
+            yield from self.rpath.deliver_latency()  # NAK comes back
+            return WcStatus.SIM_FAULT
+        try:
+            if target is None:
+                raise RemoteAccessError(f"unknown rkey {wr.rkey!r}")
+            target.check_remote(wr.remote_addr, wr.length, write=True)
+        except RemoteAccessError:
+            yield from self.rpath.deliver_latency()  # NAK
+            return WcStatus.REM_ACCESS_ERR
+        yield from peer.device.nic.dma_place(wr.length)
+        target.place(wr.remote_addr, wr.payload)
+        if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
+            if not peer._recv_queue:
+                # Immediate data consumes a receive WR; RNR applies.
+                self.rnr_naks.add()
+                yield from self.rpath.deliver_latency()
+                yield self.engine.timeout(self.rnr_timer)
+                return (yield from self._do_write(wr, nic, peer))
+            rwr = peer._recv_queue.popleft()
+            peer.recv_cq.push(
+                WorkCompletion(
+                    wr_id=rwr.wr_id,
+                    opcode=Opcode.RECV,
+                    status=WcStatus.SUCCESS,
+                    byte_len=wr.length,
+                    imm_data=wr.imm_data,
+                    qp_num=peer.qp_num,
+                )
+            )
+        yield from self.rpath.deliver_latency()  # hardware ACK
+        return WcStatus.SUCCESS
+
+    def _do_read(self, wr: SendWR, nic, peer: "QueuePair") -> Generator:
+        source = peer.pd.lookup_rkey(wr.rkey)
+        yield from nic.process_wqe()
+        yield self._ord.request()  # outstanding-read limit (ORD)
+        try:
+            yield from self.path.deliver_latency()  # READ request packet
+            try:
+                if source is None:
+                    raise RemoteAccessError(f"unknown rkey {wr.rkey!r}")
+                source.check_remote(wr.remote_addr, wr.length, write=False)
+            except RemoteAccessError:
+                yield from self.rpath.deliver_latency()
+                return WcStatus.REM_ACCESS_ERR
+            peer_nic = peer.device.nic
+            yield from peer_nic.serve_read(wr.length)
+            yield from self.rpath.transmit(wr.length)
+            yield from nic.dma_place(wr.length)
+            wr.payload = source.fetch(wr.remote_addr)
+            return WcStatus.SUCCESS
+        finally:
+            self._ord.release()
+
+    # -- UD delivery -----------------------------------------------------------------
+    def _deliver_datagram(self, wr: SendWR) -> None:
+        if not self._recv_queue:
+            self.ud_drops.add()
+            return
+        rwr = self._recv_queue.popleft()
+        self.recv_cq.push(
+            WorkCompletion(
+                wr_id=rwr.wr_id,
+                opcode=Opcode.RECV,
+                status=WcStatus.SUCCESS,
+                byte_len=wr.length,
+                payload=wr.payload,
+                qp_num=self.qp_num,
+            )
+        )
+
+    # -- completion ordering ------------------------------------------------------------
+    def _retire(self, ssn: int, wc: WorkCompletion, signaled: bool) -> None:
+        self.engine.trace(
+            "qp", "complete",
+            qp=self.qp_num, wr_id=wc.wr_id, status=wc.status.value,
+        )
+        self._done[ssn] = wc if signaled else None
+        while self._next_complete in self._done:
+            pending = self._done.pop(self._next_complete)
+            self._next_complete += 1
+            self._outstanding_sends -= 1
+            if pending is not None:
+                self.send_cq.push(pending)
+
+    def _enter_error(self) -> None:
+        if self.state is QpState.ERROR:
+            return
+        self.state = QpState.ERROR
+        # Flush posted receives.
+        while self._recv_queue:
+            rwr = self._recv_queue.popleft()
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=rwr.wr_id,
+                    opcode=Opcode.RECV,
+                    status=WcStatus.WR_FLUSH_ERR,
+                    qp_num=self.qp_num,
+                )
+            )
+
+    def close(self) -> None:
+        """Tear the QP down (flushes receives)."""
+        self._enter_error()
+        self.state = QpState.RESET
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<QP {self.qp_num} {self.qp_type.value} {self.state.value} "
+            f"out={self._outstanding_sends}>"
+        )
+
+
+def connect_pair(qp_a: QueuePair, qp_b: QueuePair, duplex: "DuplexPath") -> None:
+    """Wire two QPs together over a duplex path (both become RTS)."""
+    if qp_a.qp_type is not qp_b.qp_type:
+        raise QpStateError("QP types must match")
+    qp_a.attach(qp_b, duplex)
+    qp_b.attach(qp_a, duplex.reversed())

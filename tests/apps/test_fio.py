@@ -1,0 +1,95 @@
+"""The fio-style RDMA I/O engine: the §III-B findings as assertions."""
+
+import pytest
+
+from repro.apps.fio import FioJob, FioResult, run_fio
+from repro.testbeds import infiniband_lan, roce_lan
+
+
+def job(**kw):
+    base = dict(block_size=128 * 1024, iodepth=16, total_blocks=400)
+    base.update(kw)
+    return FioJob(**base)
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        FioJob(semantics="atomic")
+    with pytest.raises(ValueError):
+        FioJob(iodepth=0)
+    with pytest.raises(ValueError):
+        FioJob(block_size=0)
+    with pytest.raises(ValueError):
+        FioJob(total_blocks=0)
+
+
+def test_write_saturates_at_high_depth():
+    r = run_fio(roce_lan(), job(semantics="write"))
+    assert r.gbps > 0.9 * 40.0
+    assert r.dst_cpu_pct == pytest.approx(0.0)  # one-sided
+
+
+def test_low_iodepth_underutilises():
+    """§III-B: 'I/O depth should be set to a relatively large number'."""
+    deep = run_fio(roce_lan(), job(semantics="write", iodepth=16))
+    shallow = run_fio(roce_lan(), job(semantics="write", iodepth=1, total_blocks=100))
+    assert shallow.gbps < 0.5 * deep.gbps
+
+
+def test_send_recv_costs_both_ends():
+    """Figs 3/4: SEND/RECV CPU ≫ WRITE CPU; bandwidth comparable."""
+    wr = run_fio(roce_lan(), job(semantics="write"))
+    sr = run_fio(roce_lan(), job(semantics="send"))
+    assert sr.gbps == pytest.approx(wr.gbps, rel=0.05)
+    assert sr.dst_cpu_pct > 5 * max(wr.dst_cpu_pct, 0.1)
+    assert sr.total_cpu_pct > 1.5 * wr.total_cpu_pct
+
+
+def test_read_trails_write_at_small_blocks():
+    wr = run_fio(roce_lan(), job(semantics="write", block_size=16 * 1024))
+    rd = run_fio(roce_lan(), job(semantics="read", block_size=16 * 1024))
+    assert wr.gbps > 1.5 * rd.gbps
+
+
+def test_read_catches_up_at_large_blocks():
+    wr = run_fio(roce_lan(), job(semantics="write", block_size=4 << 20, total_blocks=120))
+    rd = run_fio(roce_lan(), job(semantics="read", block_size=4 << 20, total_blocks=120))
+    assert rd.gbps > 0.9 * wr.gbps
+
+
+def test_cpu_falls_as_block_size_rises():
+    small = run_fio(roce_lan(), job(semantics="write", block_size=16 * 1024))
+    large = run_fio(roce_lan(), job(semantics="write", block_size=1 << 20, total_blocks=150))
+    assert large.src_cpu_pct < small.src_cpu_pct
+
+
+def test_ib_cheaper_cpu_than_roce():
+    """§V-C2: libibverbs overhead is lower on InfiniBand."""
+    roce = run_fio(roce_lan(), job(semantics="write"))
+    ib = run_fio(infiniband_lan(), job(semantics="write"))
+    assert ib.src_cpu_pct < roce.src_cpu_pct
+
+
+def test_ib_bandwidth_pcie_capped():
+    r = run_fio(infiniband_lan(), job(semantics="write", block_size=1 << 20, total_blocks=200))
+    assert 0.85 * 25.6 < r.gbps <= 25.6
+
+
+def test_latency_percentiles_ordered():
+    r = run_fio(roce_lan(), job(semantics="write"))
+    assert r.lat_p50_us <= r.lat_p99_us
+    assert r.lat_mean_us > 0
+    assert isinstance(r, FioResult)
+    assert r.bytes == r.job.total_blocks * r.job.block_size
+
+
+def test_busy_poll_burns_cpu_for_latency():
+    """Busy polling trades CPU for completion latency (§III-B trade-off)."""
+    event_mode = run_fio(roce_lan(), job(semantics="write", iodepth=4, total_blocks=300))
+    poll_mode = run_fio(
+        roce_lan(),
+        job(semantics="write", iodepth=4, total_blocks=300, busy_poll=True),
+    )
+    assert poll_mode.gbps == pytest.approx(event_mode.gbps, rel=0.1)
+    assert poll_mode.src_cpu_pct > 2 * event_mode.src_cpu_pct
+    assert poll_mode.lat_mean_us <= event_mode.lat_mean_us * 1.1

@@ -1,0 +1,56 @@
+"""Socket-over-RDMA middlewares: the Figure 1 / §II overhead ordering."""
+
+import pytest
+
+from repro.apps.rftp import run_rftp
+from repro.apps.sockets import socket_transfer
+from repro.core import ProtocolConfig
+from repro.testbeds import roce_lan
+
+TOTAL = 256 << 20
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        socket_transfer(roce_lan(), TOTAL, "magic")
+    with pytest.raises(ValueError):
+        socket_transfer(roce_lan(), 0, "sdp")
+
+
+def test_ipoib_pays_full_tcp_costs():
+    r = socket_transfer(roce_lan(), TOTAL, "ipoib")
+    # App thread pinned; kernel work on top — and nowhere near 40G.
+    assert r.gbps < 15.0
+    assert r.client_cpu_pct > 100.0
+
+
+def test_sdp_beats_ipoib_but_not_native():
+    ipoib = socket_transfer(roce_lan(), TOTAL, "ipoib")
+    sdp = socket_transfer(roce_lan(), TOTAL, "sdp")
+    native = run_rftp(
+        roce_lan(),
+        TOTAL,
+        ProtocolConfig(
+            block_size=1 << 20, num_channels=4, source_blocks=16, sink_blocks=16
+        ),
+    )
+    # Bandwidth ordering: native verbs > SDP > IPoIB  (§II, ref [15]).
+    assert native.gbps > 2 * sdp.gbps
+    assert sdp.gbps > ipoib.gbps
+    # CPU ordering per host: IPoIB > SDP (kernel bypass) > native wins
+    # overall by moving 4x the data for less CPU.
+    assert ipoib.client_cpu_pct > sdp.client_cpu_pct
+    assert ipoib.server_cpu_pct > sdp.server_cpu_pct
+
+
+def test_sdp_has_no_kernel_per_byte_charge():
+    tb = roce_lan()
+    socket_transfer(tb, TOTAL, "sdp")
+    assert tb.src.cpu.busy_seconds("kernel") == 0.0
+
+
+def test_ipoib_charges_kernel_on_both_hosts():
+    tb = roce_lan()
+    socket_transfer(tb, TOTAL, "ipoib")
+    assert tb.src.cpu.busy_seconds("kernel") > 0.0
+    assert tb.dst.cpu.busy_seconds("kernel") > 0.0

@@ -1,0 +1,159 @@
+"""The buffer-block finite state machines of Figure 6."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import (
+    BlockStateError,
+    SinkBlock,
+    SinkBlockState,
+    SourceBlock,
+    SourceBlockState,
+)
+from repro.core.messages import BlockHeader
+
+
+class _FakeMr:
+    pass
+
+
+def header(seq=0):
+    return BlockHeader(session_id=1, seq=seq, offset=seq * 4096, length=4096)
+
+
+# -- source FSM ------------------------------------------------------------------
+def test_source_happy_path():
+    blk = SourceBlock(0, _FakeMr())
+    assert blk.state is SourceBlockState.FREE
+    blk.reserve()
+    assert blk.state is SourceBlockState.LOADING
+    blk.loaded(header(), payload="data")
+    assert blk.state is SourceBlockState.LOADED
+    blk.sending()
+    assert blk.state is SourceBlockState.SENDING
+    blk.waiting()
+    assert blk.state is SourceBlockState.WAITING
+    blk.release()
+    assert blk.state is SourceBlockState.FREE
+    assert blk.header is None and blk.payload is None
+
+
+def test_source_resend_path():
+    blk = SourceBlock(0, _FakeMr())
+    blk.reserve()
+    blk.loaded(header())
+    blk.sending()
+    blk.waiting()
+    blk.resend()
+    assert blk.state is SourceBlockState.LOADED
+    assert blk.header is not None  # data still valid for re-send
+
+
+@pytest.mark.parametrize(
+    "method",
+    ["loaded", "sending", "waiting", "release", "resend"],
+)
+def test_source_illegal_from_free(method):
+    blk = SourceBlock(0, _FakeMr())
+    with pytest.raises(BlockStateError):
+        if method == "loaded":
+            blk.loaded(header())
+        else:
+            getattr(blk, method)()
+
+
+def test_source_double_reserve_rejected():
+    blk = SourceBlock(0, _FakeMr())
+    blk.reserve()
+    with pytest.raises(BlockStateError):
+        blk.reserve()
+
+
+# -- sink FSM --------------------------------------------------------------------
+def test_sink_happy_path():
+    blk = SinkBlock(0, _FakeMr())
+    assert blk.state is SinkBlockState.FREE
+    blk.advertise()
+    assert blk.state is SinkBlockState.WAITING
+    blk.finish(header(), payload="landed")
+    assert blk.state is SinkBlockState.READY
+    assert blk.consume() == "landed"
+    assert blk.state is SinkBlockState.FREE
+
+
+def test_sink_finish_requires_waiting():
+    blk = SinkBlock(0, _FakeMr())
+    with pytest.raises(BlockStateError):
+        blk.finish(header())
+
+
+def test_sink_consume_requires_ready():
+    blk = SinkBlock(0, _FakeMr())
+    blk.advertise()
+    with pytest.raises(BlockStateError):
+        blk.consume()
+
+
+def test_sink_double_advertise_rejected():
+    blk = SinkBlock(0, _FakeMr())
+    blk.advertise()
+    with pytest.raises(BlockStateError):
+        blk.advertise()
+
+
+# -- hypothesis: guards hold under arbitrary call sequences ----------------------------
+_SOURCE_OPS = ["reserve", "loaded", "sending", "waiting", "release", "resend"]
+_LEGAL_SOURCE = {
+    SourceBlockState.FREE: {"reserve"},
+    SourceBlockState.LOADING: {"loaded"},
+    SourceBlockState.LOADED: {"sending"},
+    SourceBlockState.SENDING: {"waiting"},
+    SourceBlockState.WAITING: {"release", "resend"},
+}
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(st.sampled_from(_SOURCE_OPS), max_size=40))
+def test_source_fsm_guards_complete(ops):
+    """Every op either performs a legal transition or raises — the block
+    never reaches an undefined state."""
+    blk = SourceBlock(0, _FakeMr())
+    for op in ops:
+        legal = op in _LEGAL_SOURCE[blk.state]
+        try:
+            if op == "loaded":
+                blk.loaded(header())
+            else:
+                getattr(blk, op)()
+        except BlockStateError:
+            assert not legal
+        else:
+            assert legal
+        assert blk.state in SourceBlockState
+
+
+_SINK_OPS = ["advertise", "finish", "consume"]
+_LEGAL_SINK = {
+    SinkBlockState.FREE: {"advertise"},
+    SinkBlockState.WAITING: {"finish"},
+    SinkBlockState.READY: {"consume"},
+}
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(st.sampled_from(_SINK_OPS), max_size=40))
+def test_sink_fsm_guards_complete(ops):
+    blk = SinkBlock(0, _FakeMr())
+    for op in ops:
+        legal = op in _LEGAL_SINK[blk.state]
+        try:
+            if op == "finish":
+                blk.finish(header())
+            else:
+                getattr(blk, op)()
+        except BlockStateError:
+            assert not legal
+        else:
+            assert legal
+        assert blk.state in SinkBlockState

@@ -1,0 +1,37 @@
+"""Protocol configuration validation."""
+
+import pytest
+
+from repro.core import ProtocolConfig
+
+
+def test_defaults_valid():
+    cfg = ProtocolConfig()
+    assert cfg.block_size == 4 * 1024 * 1024
+    assert cfg.proactive_credits
+    assert cfg.credit_grant_ratio == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(block_size=1024),
+        dict(num_channels=0),
+        dict(source_blocks=1),
+        dict(sink_blocks=1),
+        dict(credit_grant_ratio=0),
+        dict(initial_credits=0),
+        dict(initial_credits=33, sink_blocks=32),
+        dict(reader_threads=0),
+        dict(writer_threads=0),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ProtocolConfig(**kwargs)
+
+
+def test_frozen():
+    cfg = ProtocolConfig()
+    with pytest.raises(Exception):
+        cfg.block_size = 1

@@ -1,0 +1,121 @@
+"""Wire formats and out-of-order reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    CTRL_MSG_BYTES,
+    HEADER_BYTES,
+    BlockHeader,
+    ControlMessage,
+    CtrlType,
+)
+from repro.core.reassembly import ReassemblyBuffer
+
+
+def hdr(seq, sid=1, length=4096):
+    return BlockHeader(session_id=sid, seq=seq, offset=seq * length, length=length)
+
+
+# -- messages ---------------------------------------------------------------------
+def test_control_message_wire_size():
+    msg = ControlMessage(CtrlType.BLOCK_DONE, 1, (0, None))
+    assert msg.wire_bytes == CTRL_MSG_BYTES
+
+
+def test_header_wire_size_includes_payload():
+    h = hdr(0, length=1 << 20)
+    assert h.wire_bytes == HEADER_BYTES + (1 << 20)
+
+
+def test_header_field_ranges():
+    BlockHeader(session_id=2**32 - 1, seq=2**32 - 1, offset=2**64 - 1, length=2**32 - 1)
+    with pytest.raises(ValueError):
+        BlockHeader(session_id=2**32, seq=0, offset=0, length=0)
+    with pytest.raises(ValueError):
+        BlockHeader(session_id=0, seq=2**32, offset=0, length=0)
+    with pytest.raises(ValueError):
+        BlockHeader(session_id=0, seq=0, offset=2**64, length=0)
+    with pytest.raises(ValueError):
+        BlockHeader(session_id=0, seq=0, offset=0, length=-1)
+
+
+def test_header_key():
+    assert hdr(5, sid=3).key() == (3, 5)
+
+
+# -- reassembly -----------------------------------------------------------------------
+def test_in_order_stream_passes_through():
+    r = ReassemblyBuffer()
+    for seq in range(5):
+        out = r.push(hdr(seq), f"p{seq}")
+        assert [h.seq for h, _ in out] == [seq]
+
+
+def test_out_of_order_held_and_released():
+    r = ReassemblyBuffer()
+    assert r.push(hdr(2), "c") == []
+    assert r.push(hdr(1), "b") == []
+    out = r.push(hdr(0), "a")
+    assert [(h.seq, p) for h, p in out] == [(0, "a"), (1, "b"), (2, "c")]
+    assert r.pending(1) == 0
+
+
+def test_sessions_are_independent():
+    r = ReassemblyBuffer()
+    r.push(hdr(1, sid=7), "x")
+    out = r.push(hdr(0, sid=8), "y")
+    assert [(h.session_id, h.seq) for h, _ in out] == [(8, 0)]
+    assert r.pending(7) == 1
+
+
+def test_duplicates_dropped_and_counted():
+    r = ReassemblyBuffer()
+    r.push(hdr(0), "a")
+    assert r.push(hdr(0), "a-again") == []
+    assert r.duplicates == 1
+    r.push(hdr(2), "c")
+    assert r.push(hdr(2), "c-again") == []
+    assert r.duplicates == 2
+
+
+def test_finish_session_discards_stranded():
+    r = ReassemblyBuffer()
+    r.push(hdr(3), "x")
+    r.push(hdr(5), "y")
+    assert r.finish_session(1) == 2
+    assert r.pending(1) == 0
+    assert r.next_seq(1) == 0  # state reset
+
+
+def test_max_parked_tracks_high_water():
+    r = ReassemblyBuffer()
+    for seq in (4, 3, 2, 1):
+        r.push(hdr(seq), None)
+    assert r.max_parked == 4
+
+
+@settings(max_examples=100, deadline=None)
+@given(perm=st.permutations(list(range(12))))
+def test_any_permutation_delivers_in_order(perm):
+    """The sink's core guarantee: whatever the arrival order, the
+    application sees sequence numbers 0..n-1 exactly once, sorted."""
+    r = ReassemblyBuffer()
+    delivered = []
+    for seq in perm:
+        delivered.extend(h.seq for h, _ in r.push(hdr(seq), None))
+    assert delivered == sorted(perm)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrivals=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=60)
+)
+def test_duplicates_never_delivered_twice(arrivals):
+    r = ReassemblyBuffer()
+    delivered = []
+    for seq in arrivals:
+        delivered.extend(h.seq for h, _ in r.push(hdr(seq), None))
+    assert len(delivered) == len(set(delivered))
+    assert delivered == sorted(delivered)

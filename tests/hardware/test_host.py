@@ -1,0 +1,54 @@
+"""Host assembly."""
+
+import pytest
+
+from repro.hardware import DiskProfile, Host, HostSpec, NicProfile
+
+
+def spec(**over):
+    base = dict(name="h", cores=8, mem_bytes=1 << 30, pcie_gbps=32.0)
+    base.update(over)
+    return HostSpec(**base)
+
+
+def test_host_assembly(engine):
+    host = Host(engine, spec())
+    nic = host.add_nic(NicProfile(gbps=40))
+    disk = host.add_disk(DiskProfile())
+    assert host.nic is nic
+    assert host.disk is disk
+    assert host.cpu.cores == 8
+    assert host.memory.capacity == 1 << 30
+
+
+def test_host_without_nic_raises(engine):
+    host = Host(engine, spec())
+    with pytest.raises(RuntimeError):
+        _ = host.nic
+
+
+def test_thread_names_unique(engine):
+    host = Host(engine, spec())
+    t1 = host.thread("worker")
+    t2 = host.thread("worker")
+    assert t1.name != t2.name
+    assert t1.group == "app"
+    assert host.thread("k", group="kernel").group == "kernel"
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        spec(cores=0)
+    with pytest.raises(ValueError):
+        spec(mem_bytes=0)
+    with pytest.raises(ValueError):
+        spec(pcie_gbps=0)
+
+
+def test_nic_profile_validation():
+    with pytest.raises(ValueError):
+        NicProfile(gbps=0)
+    with pytest.raises(ValueError):
+        NicProfile(gbps=10, max_ord=0)
+    with pytest.raises(ValueError):
+        NicProfile(gbps=10, engines=0)

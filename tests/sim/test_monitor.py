@@ -1,0 +1,78 @@
+"""Counters, time series, and time-weighted statistics."""
+
+import pytest
+
+from repro.sim import Counter, Engine, TimeSeries, TimeWeightedStat
+
+
+def test_counter_accumulates():
+    c = Counter("bytes")
+    c.add(10)
+    c.add(5)
+    assert c.total == 15
+    assert c.count == 2
+    c.reset()
+    assert c.total == 0 and c.count == 0
+
+
+def test_timeseries_statistics():
+    ts = TimeSeries("lat")
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+        ts.record(t, v)
+    assert len(ts) == 3
+    assert ts.mean() == pytest.approx(3.0)
+    assert ts.percentile(50) == pytest.approx(3.0)
+
+
+def test_timeseries_rate_window():
+    ts = TimeSeries("bytes")
+    for t in range(1, 11):
+        ts.record(float(t), 100.0)
+    # 1000 bytes over 10 seconds.
+    assert ts.rate(since=0.0) == pytest.approx(100.0)
+    # Last 5 samples over the [5, 10] window.
+    assert ts.rate(since=5.0) == pytest.approx(600.0 / 5.0)
+
+
+def test_timeseries_empty():
+    ts = TimeSeries()
+    assert ts.rate() == 0.0
+    assert ts.mean() != ts.mean()  # NaN
+
+
+def test_time_weighted_average(engine):
+    stat = TimeWeightedStat(engine, initial=0.0)
+
+    def proc(env):
+        yield env.timeout(2)
+        stat.update(4.0)
+        yield env.timeout(2)
+        stat.update(0.0)
+        yield env.timeout(4)
+
+    engine.process(proc(engine))
+    engine.run()
+    # 0 for 2s, 4 for 2s, 0 for 4s => integral 8, average 1.0 over 8s.
+    assert stat.integral() == pytest.approx(8.0)
+    assert stat.time_average() == pytest.approx(1.0)
+
+
+def test_time_weighted_reset(engine):
+    stat = TimeWeightedStat(engine, initial=2.0)
+
+    def proc(env):
+        yield env.timeout(3)
+        stat.reset()
+        yield env.timeout(2)
+
+    engine.process(proc(engine))
+    engine.run()
+    assert stat.integral() == pytest.approx(4.0)  # 2.0 level × 2 s
+    assert stat.time_average() == pytest.approx(2.0)
+
+
+def test_time_weighted_add(engine):
+    stat = TimeWeightedStat(engine)
+    stat.add(3)
+    stat.add(-1)
+    assert stat.level == 2

@@ -1,0 +1,146 @@
+"""Processes: return values, exceptions, chaining, kill."""
+
+import pytest
+
+from repro.sim import Engine, Process, ProcessKilled, SimulationError
+
+
+def test_process_return_value(engine):
+    def proc(env):
+        yield env.timeout(1)
+        return "result"
+
+    p = engine.process(proc(engine))
+    engine.run()
+    assert p.value == "result"
+
+
+def test_process_waits_on_another_process(engine):
+    def inner(env):
+        yield env.timeout(2)
+        return 7
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value * 3
+
+    p = engine.process(outer(engine))
+    engine.run()
+    assert p.value == 21
+    assert engine.now == 2
+
+
+def test_process_requires_generator(engine):
+    with pytest.raises(TypeError):
+        engine.process(lambda: None)
+
+
+def test_yielding_non_event_fails_process(engine):
+    def bad(env):
+        yield 42
+
+    engine.process(bad(engine))
+    with pytest.raises(SimulationError) as exc:
+        engine.run()
+    assert isinstance(exc.value.__cause__, TypeError)
+
+
+def test_exception_in_awaited_process_propagates(engine):
+    def failing(env):
+        yield env.timeout(1)
+        raise RuntimeError("inner failure")
+
+    def outer(env):
+        try:
+            yield env.process(failing(env))
+        except RuntimeError as exc:
+            return f"caught: {exc}"
+
+    p = engine.process(outer(engine))
+    engine.run()
+    assert p.value == "caught: inner failure"
+
+
+def test_immediate_return_process(engine):
+    def instant(env):
+        return "now"
+        yield  # pragma: no cover - makes this a generator
+
+    p = engine.process(instant(engine))
+    engine.run()
+    assert p.value == "now"
+
+
+def test_kill_interrupts_wait(engine):
+    stages = []
+
+    def victim(env):
+        stages.append("start")
+        yield env.timeout(100)
+        stages.append("never")
+
+    def killer(env, target):
+        yield env.timeout(1)
+        target.kill("test")
+
+    victim_proc = engine.process(victim(engine))
+    engine.process(killer(engine, victim_proc))
+    engine.run()
+    assert stages == ["start"]
+    assert victim_proc.triggered and not victim_proc.ok
+    assert isinstance(victim_proc.value, ProcessKilled)
+
+
+def test_kill_runs_cleanup(engine):
+    cleaned = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        finally:
+            cleaned.append(True)
+
+    def killer(env, target):
+        yield env.timeout(1)
+        target.kill()
+
+    victim_proc = engine.process(victim(engine))
+    engine.process(killer(engine, victim_proc))
+    engine.run()
+    assert cleaned == [True]
+
+
+def test_kill_finished_process_is_noop(engine):
+    def quick(env):
+        yield env.timeout(1)
+        return "done"
+
+    p = engine.process(quick(engine))
+    engine.run()
+    p.kill()
+    assert p.value == "done"
+
+
+def test_is_alive(engine):
+    def proc(env):
+        yield env.timeout(5)
+
+    p = engine.process(proc(engine))
+    assert p.is_alive
+    engine.run()
+    assert not p.is_alive
+
+
+def test_chained_already_processed_event(engine):
+    """Waiting on an event that has already been processed resumes
+    synchronously without deadlock."""
+
+    def proc(env):
+        ev = env.timeout(0, "x")
+        yield env.timeout(1)
+        value = yield ev  # ev processed long ago
+        return value
+
+    p = engine.process(proc(engine))
+    engine.run()
+    assert p.value == "x"

@@ -1,0 +1,79 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+def test_parse_size():
+    assert parse_size("4096") == 4096
+    assert parse_size("4K") == 4096
+    assert parse_size("4k") == 4096
+    assert parse_size("1M") == 1 << 20
+    assert parse_size("2G") == 2 << 30
+    assert parse_size("1.5M") == int(1.5 * (1 << 20))
+    assert parse_size("4MB") == 4 << 20
+    assert parse_size("4MiB") == 4 << 20
+
+
+@pytest.mark.parametrize("bad", ["", "x", "-1M", "0"])
+def test_parse_size_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+
+
+def test_testbeds_command(capsys):
+    assert main(["testbeds"]) == 0
+    out = capsys.readouterr().out
+    assert "roce-lan" in out and "ani-wan" in out and "49" in out
+
+
+def test_rftp_command(capsys):
+    code = main(
+        ["rftp", "--testbed", "roce-lan", "--bytes", "64M", "--block-size", "1M",
+         "--channels", "2", "--pool", "8"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Gbps" in out and "RNR NAKs 0" in out
+
+
+def test_gridftp_command(capsys):
+    code = main(
+        ["gridftp", "--testbed", "roce-lan", "--bytes", "64M", "--streams", "2"]
+    )
+    assert code == 0
+    assert "stream(s)" in capsys.readouterr().out
+
+
+def test_fio_command(capsys):
+    code = main(
+        ["fio", "--testbed", "roce-lan", "--semantics", "write",
+         "--block-size", "128K", "--iodepth", "8", "--blocks", "200"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Gbps" in out and "p99" in out
+
+
+def test_rftp_disk_command(capsys):
+    code = main(
+        ["rftp", "--testbed", "ani-wan", "--bytes", "256M", "--pool", "48",
+         "--disk"]
+    )
+    assert code == 0
+
+
+def test_rftp_on_demand_ablation(capsys):
+    code = main(
+        ["rftp", "--testbed", "roce-lan", "--bytes", "32M", "--block-size", "1M",
+         "--pool", "8", "--on-demand-credits"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "credit requests" in out
+
+
+def test_unknown_testbed_rejected():
+    with pytest.raises(SystemExit):
+        main(["rftp", "--testbed", "mars-lan"])

@@ -1,0 +1,188 @@
+"""Memory regions, protection domains, completion queues."""
+
+import pytest
+
+from repro.verbs import AccessFlags, WcStatus, WorkCompletion, Opcode
+from repro.verbs.errors import RemoteAccessError
+from tests.conftest import make_fabric
+
+
+def test_reg_mr_assigns_keys():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(4096)
+    mr = pd.reg_mr_sync(buf, AccessFlags.REMOTE_WRITE)
+    assert mr.rkey != mr.lkey
+    assert pd.lookup_rkey(mr.rkey) is mr
+    assert pd.lookup_lkey(mr.lkey) is mr
+
+
+def test_lookup_unknown_rkey():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    assert pd.lookup_rkey(0xDEAD) is None
+    assert pd.lookup_rkey(None) is None
+
+
+def test_dereg_invalidates():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(4096)
+    mr = pd.reg_mr_sync(buf, AccessFlags.REMOTE_WRITE)
+    pd.dereg_mr(mr)
+    assert not mr.valid
+    assert pd.lookup_rkey(mr.rkey) is None
+    with pytest.raises(RemoteAccessError):
+        mr.check_remote(buf.addr, 10, write=True)
+
+
+def test_access_flag_enforcement():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(4096)
+    wr_only = pd.reg_mr_sync(buf, AccessFlags.REMOTE_WRITE)
+    wr_only.check_remote(buf.addr, 100, write=True)
+    with pytest.raises(RemoteAccessError):
+        wr_only.check_remote(buf.addr, 100, write=False)
+
+
+def test_bounds_enforcement():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(4096)
+    mr = pd.reg_mr_sync(buf, AccessFlags.REMOTE_WRITE)
+    mr.check_remote(buf.addr, 4096, write=True)
+    with pytest.raises(RemoteAccessError):
+        mr.check_remote(buf.addr, 4097, write=True)
+    with pytest.raises(RemoteAccessError):
+        mr.check_remote(buf.addr - 1, 10, write=True)
+
+
+def test_mr_contents_place_fetch_take():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(4096)
+    mr = pd.reg_mr_sync(buf, AccessFlags.REMOTE_WRITE)
+    mr.place(buf.addr, "payload")
+    assert mr.fetch(buf.addr) == "payload"
+    assert mr.take(buf.addr) == "payload"
+    assert mr.take(buf.addr) is None
+
+
+def test_timed_registration_charges_cpu():
+    f = make_fabric()
+    pd = f.dev_a.alloc_pd()
+    buf = f.a.memory.alloc(1 << 20)  # 256 pages
+    thread = f.a.thread("reg")
+
+    def proc(env):
+        mr = yield pd.reg_mr(thread, buf, AccessFlags.REMOTE_WRITE)
+        return mr
+
+    p = f.engine.process(proc(f.engine))
+    f.engine.run()
+    assert p.value.valid
+    profile = f.dev_a.arch_profile
+    expected = profile.reg_mr_base_seconds + buf.pages * profile.reg_mr_page_seconds
+    assert f.a.cpu.busy_seconds("app") == pytest.approx(expected)
+
+
+# -- CQ ------------------------------------------------------------------------
+def _wc(i=0):
+    return WorkCompletion(wr_id=i, opcode=Opcode.SEND, status=WcStatus.SUCCESS)
+
+
+def test_cq_poll_batches_and_costs():
+    f = make_fabric()
+    cq = f.dev_a.create_cq()
+    for i in range(10):
+        cq.push(_wc(i))
+    thread = f.a.thread("poller")
+
+    def proc(env):
+        batch = yield cq.poll(thread, max_entries=4)
+        return batch
+
+    p = f.engine.process(proc(f.engine))
+    f.engine.run()
+    assert [wc.wr_id for wc in p.value] == [0, 1, 2, 3]
+    assert len(cq) == 6
+    assert f.a.cpu.busy_seconds() == pytest.approx(
+        4 * f.dev_a.arch_profile.poll_cqe_seconds
+    )
+
+
+def test_cq_empty_poll_costs_little():
+    f = make_fabric()
+    cq = f.dev_a.create_cq()
+    thread = f.a.thread("poller")
+
+    def proc(env):
+        return (yield cq.poll(thread))
+
+    p = f.engine.process(proc(f.engine))
+    f.engine.run()
+    assert p.value == []
+    assert f.a.cpu.busy_seconds() == pytest.approx(
+        f.dev_a.arch_profile.poll_empty_seconds
+    )
+
+
+def test_cq_overflow_counted():
+    f = make_fabric()
+    cq = f.dev_a.create_cq(depth=2)
+    for i in range(5):
+        cq.push(_wc(i))
+    assert len(cq) == 2
+    assert cq.overflows == 3
+
+
+def test_completion_channel_wakes_on_push():
+    f = make_fabric()
+    cq = f.dev_a.create_cq()
+    from repro.verbs import CompletionChannel
+
+    channel = CompletionChannel(cq)
+    thread = f.a.thread("waiter")
+    woke = []
+
+    def waiter(env):
+        yield channel.wait(thread)
+        woke.append(env.now)
+
+    def pusher(env):
+        yield env.timeout(1.0)
+        cq.push(_wc())
+
+    f.engine.process(waiter(f.engine))
+    f.engine.process(pusher(f.engine))
+    f.engine.run()
+    assert len(woke) == 1 and woke[0] >= 1.0
+
+
+def test_completion_channel_immediate_when_pending():
+    f = make_fabric()
+    cq = f.dev_a.create_cq()
+    from repro.verbs import CompletionChannel
+
+    channel = CompletionChannel(cq)
+    cq.push(_wc())
+    thread = f.a.thread("waiter")
+
+    def waiter(env):
+        yield channel.wait(thread)
+        return env.now
+
+    p = f.engine.process(waiter(f.engine))
+    f.engine.run()
+    assert p.ok
+
+
+def test_single_channel_per_cq():
+    f = make_fabric()
+    cq = f.dev_a.create_cq()
+    from repro.verbs import CompletionChannel
+
+    CompletionChannel(cq)
+    with pytest.raises(RuntimeError):
+        CompletionChannel(cq)

@@ -1,0 +1,192 @@
+"""RDMA WRITE: timing, bandwidth, rkey enforcement, completion order."""
+
+import pytest
+
+from repro.verbs import Opcode, SendWR, WcStatus
+from repro.verbs.errors import QpStateError, QueueFullError
+from tests.conftest import make_fabric
+
+
+def _write_wr(mr, buf, i=0, length=4096, payload=None):
+    return SendWR(
+        opcode=Opcode.RDMA_WRITE,
+        length=length,
+        wr_id=i,
+        remote_addr=buf.addr,
+        rkey=mr.rkey,
+        payload=payload,
+    )
+
+
+def test_write_places_payload_and_completes():
+    f = make_fabric()
+    qa, qb = f.qp_pair()
+    _, buf, mr = f.remote_mr()
+
+    def proc(env):
+        qa.post_send(_write_wr(mr, buf, 7, payload="hello"))
+        yield env.timeout(1)
+
+    f.engine.process(proc(f.engine))
+    f.engine.run()
+    wcs = qa.send_cq.poll_nocost()
+    assert len(wcs) == 1
+    assert wcs[0].wr_id == 7 and wcs[0].ok
+    assert mr.fetch(buf.addr) == "hello"
+    # One-sided: no receive-side completion.
+    assert len(qb.recv_cq.poll_nocost()) == 0
+
+
+def test_write_completion_includes_rtt():
+    rtt = 1e-3
+    f = make_fabric(rtt=rtt)
+    qa, qb = f.qp_pair()
+    _, buf, mr = f.remote_mr()
+
+    qa.post_send(_write_wr(mr, buf, length=4096))
+    f.engine.run()
+    wcs = qa.send_cq.poll_nocost()
+    # Completion requires the ACK: at least one full RTT.
+    assert wcs[0].timestamp >= rtt
+
+
+def test_write_bandwidth_near_line_rate():
+    f = make_fabric(gbps=40.0)
+    qa, qb = f.qp_pair()
+    _, buf, mr = f.remote_mr(size=1 << 21)
+    n, block = 64, 256 * 1024
+
+    def pump(env):
+        sent = 0
+        while sent < n:
+            if qa.send_outstanding < 16:
+                qa.post_send(_write_wr(mr, buf, sent, block))
+                sent += 1
+            else:
+                yield env.timeout(1e-6)
+        while qa.send_outstanding:
+            yield env.timeout(1e-6)
+
+    f.engine.process(pump(f.engine))
+    f.engine.run()
+    gbps = n * block * 8 / f.engine.now / 1e9
+    assert gbps > 0.9 * 40.0
+
+
+def test_write_bad_rkey_errors_qp():
+    f = make_fabric()
+    qa, qb = f.qp_pair()
+    _, buf, mr = f.remote_mr()
+    qa.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            length=64,
+            wr_id=1,
+            remote_addr=buf.addr,
+            rkey=0xBAD,
+        )
+    )
+    f.engine.run()
+    wcs = qa.send_cq.poll_nocost()
+    assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+    from repro.verbs import QpState
+
+    assert qa.state is QpState.ERROR
+    with pytest.raises(QpStateError):
+        qa.post_send(_write_wr(mr, buf))
+
+
+def test_write_out_of_bounds_errors():
+    f = make_fabric()
+    qa, _ = f.qp_pair()
+    _, buf, mr = f.remote_mr(size=4096)
+    qa.post_send(_write_wr(mr, buf, length=8192))
+    f.engine.run()
+    assert qa.send_cq.poll_nocost()[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_completions_in_post_order():
+    """RC delivers completions strictly in post order per QP."""
+    f = make_fabric()
+    qa, _ = f.qp_pair()
+    _, buf, mr = f.remote_mr(size=1 << 22)
+    # Mix of sizes: later small writes would finish earlier physically.
+    sizes = [1 << 20, 4096, 1 << 19, 4096, 1 << 18]
+    for i, size in enumerate(sizes):
+        qa.post_send(_write_wr(mr, buf, i, size))
+    f.engine.run()
+    wcs = qa.send_cq.poll_nocost(100)
+    assert [wc.wr_id for wc in wcs] == list(range(len(sizes)))
+
+
+def test_unsignaled_write_skips_cqe():
+    f = make_fabric()
+    qa, _ = f.qp_pair()
+    _, buf, mr = f.remote_mr()
+    wr = _write_wr(mr, buf, 5)
+    wr.signaled = False
+    qa.post_send(wr)
+    f.engine.run()
+    assert qa.send_cq.poll_nocost() == []
+    assert qa.send_outstanding == 0  # slot reclaimed anyway
+
+
+def test_send_queue_depth_enforced():
+    f = make_fabric()
+    qa, _ = f.qp_pair(max_send_wr=4)
+    _, buf, mr = f.remote_mr()
+    for i in range(4):
+        qa.post_send(_write_wr(mr, buf, i))
+    with pytest.raises(QueueFullError):
+        qa.post_send(_write_wr(mr, buf, 99))
+
+
+def test_write_with_imm_consumes_recv():
+    f = make_fabric()
+    qa, qb = f.qp_pair()
+    _, buf, mr = f.remote_mr()
+    from repro.verbs import RecvWR
+
+    qb.post_recv(RecvWR(length=0, wr_id=42))
+    qa.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE_WITH_IMM,
+            length=4096,
+            wr_id=1,
+            remote_addr=buf.addr,
+            rkey=mr.rkey,
+            imm_data=0x1234,
+            payload="imm-payload",
+        )
+    )
+    f.engine.run()
+    rwcs = qb.recv_cq.poll_nocost()
+    assert len(rwcs) == 1
+    assert rwcs[0].imm_data == 0x1234
+    assert rwcs[0].wr_id == 42
+    assert mr.fetch(buf.addr) == "imm-payload"
+
+
+def test_pcie_cap_limits_write_bandwidth():
+    """The InfiniBand-testbed effect: PCIe below line rate caps goodput."""
+    f = make_fabric(gbps=40.0, pcie_gbps=25.6)
+    qa, _ = f.qp_pair()
+    _, buf, mr = f.remote_mr(size=1 << 21)
+    n, block = 64, 256 * 1024
+
+    def pump(env):
+        sent = 0
+        while sent < n:
+            if qa.send_outstanding < 16:
+                qa.post_send(_write_wr(mr, buf, sent, block))
+                sent += 1
+            else:
+                yield env.timeout(1e-6)
+        while qa.send_outstanding:
+            yield env.timeout(1e-6)
+
+    f.engine.process(pump(f.engine))
+    f.engine.run()
+    gbps = n * block * 8 / f.engine.now / 1e9
+    assert gbps < 25.6
+    assert gbps > 0.85 * 25.6
