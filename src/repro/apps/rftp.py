@@ -147,14 +147,30 @@ def run_rftp(
     testbed.dst.cpu.reset_accounting()
 
     done = client.put(total_bytes, port)
+
+    # Capture CPU utilisation at the instant the transfer completes, not
+    # after the engine drains: recovery watchdogs and the sink's session
+    # GC leave timers on the heap that extend ``engine.now`` past the
+    # transfer end and would dilute busy/span utilisation.
+    cpu_at_done = {}
+
+    def _capture(event) -> None:
+        if not event._ok:
+            event.defuse()  # typed error re-raised below
+        cpu_at_done["client"] = testbed.src.cpu.utilization_pct()
+        cpu_at_done["server"] = testbed.dst.cpu.utilization_pct()
+
+    done.add_callback(_capture)
     testbed.engine.run()
     if not done.triggered:
         raise RuntimeError("transfer did not complete (deadlock?)")
+    if not done.ok:
+        raise done.value
     outcome: TransferOutcome = done.value
     return RftpResult(
         outcome=outcome,
         gbps=outcome.gbps,
-        client_cpu_pct=testbed.src.cpu.utilization_pct(),
-        server_cpu_pct=testbed.dst.cpu.utilization_pct(),
+        client_cpu_pct=cpu_at_done["client"],
+        server_cpu_pct=cpu_at_done["server"],
         elapsed=outcome.elapsed,
     )

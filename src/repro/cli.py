@@ -10,6 +10,7 @@ Examples
     python -m repro fio --testbed roce-lan --semantics read --block-size 64K --iodepth 16
     python -m repro figure 10
     python -m repro ablation credits
+    python -m repro chaos --testbed ani-wan --write-fault-rate 0.05 --ctrl-drop-rate 0.1
 """
 
 from __future__ import annotations
@@ -167,9 +168,57 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     elif which == "iodepth":
         rows = ablations.run_iodepth_sweep()
         ablations.render_rows(rows, "Ablation — I/O depth (RoCE LAN)").print()
+    elif which == "recovery":
+        rows = ablations.run_recovery_ablation()
+        ablations.render_rows(
+            rows, "Ablation — recovery overhead vs fault rate (ANI WAN)"
+        ).print()
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, run_chaos
+
+    plan = FaultPlan(
+        seed=args.seed,
+        write_fault_rate=args.write_fault_rate,
+        ctrl_drop_rate=args.ctrl_drop_rate,
+        ctrl_delay_rate=args.ctrl_delay_rate,
+        latency_spike_rate=args.latency_spike_rate,
+        link_flaps=tuple(
+            tuple(float(x) for x in flap.split(":", 1)) for flap in args.link_flap
+        ),
+    )
+    result = run_chaos(
+        args.testbed,
+        total_bytes=parse_size(args.bytes),
+        plan=plan,
+        horizon=args.horizon,
+    )
+    if result.completed:
+        assert result.outcome is not None
+        print(f"completed in {result.sim_time:.3f}s sim "
+              f"({result.outcome.gbps:.2f} Gbps), "
+              f"byte-exact: {'yes' if result.byte_exact else 'NO'}")
+    else:
+        print(f"aborted with {result.error or 'no typed error (HANG)'} "
+              f"at {result.sim_time:.3f}s sim")
+    print(f"injected: {result.write_faults} WRITE faults, "
+          f"{result.ctrl_drops} ctrl drops, {result.ctrl_delays} ctrl delays, "
+          f"{result.latency_spikes} latency spikes, {result.flaps_fired} link flaps")
+    print(f"recovered: {result.resends} block re-sends, "
+          f"{result.ctrl_retries} ctrl retries, "
+          f"{result.duplicates} duplicate deliveries dropped, "
+          f"{result.sessions_reclaimed} sessions GC-reclaimed, "
+          f"{result.stray_source}+{result.stray_sink} stray messages")
+    if result.leaks:
+        print("LEAKS:")
+        for leak in result.leaks:
+            print(f"  - {leak}")
+    print(f"verdict: {'clean' if result.clean else 'NOT CLEAN'}")
+    return 0 if result.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,8 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")
-    p.add_argument("which", choices=("credits", "qp", "iodepth"))
+    p.add_argument("which", choices=("credits", "qp", "iodepth", "recovery"))
     p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser(
+        "chaos", help="run a transfer under deterministic fault injection"
+    )
+    _add_testbed_arg(p)
+    p.add_argument("--bytes", default="256M", help="dataset size (e.g. 256M)")
+    p.add_argument("--write-fault-rate", type=float, default=0.0,
+                   help="probability an RDMA WRITE fails transiently")
+    p.add_argument("--ctrl-drop-rate", type=float, default=0.0,
+                   help="probability a droppable control message is lost")
+    p.add_argument("--ctrl-delay-rate", type=float, default=0.0,
+                   help="probability a control message is delayed")
+    p.add_argument("--latency-spike-rate", type=float, default=0.0,
+                   help="probability a link serialisation picks up a spike")
+    p.add_argument("--link-flap", action="append", default=[],
+                   metavar="START:DURATION",
+                   help="schedule a link outage (seconds); repeatable")
+    p.add_argument("--horizon", type=float, default=300.0,
+                   help="sim-time bound for hang detection")
+    p.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -21,6 +21,14 @@ Section IV:
 from repro.core.blocks import SinkBlock, SinkBlockState, SourceBlock, SourceBlockState
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditGranter, CreditLedger
+from repro.core.errors import (
+    AckTimeout,
+    CreditStarvation,
+    NegotiationTimeout,
+    ResendLimitExceeded,
+    StaleSessionReclaimed,
+    TransferError,
+)
 from repro.core.messages import (
     BlockHeader,
     ControlMessage,
@@ -34,6 +42,7 @@ from repro.core.reassembly import ReassemblyBuffer
 from repro.core.source_link import SourceLink, TransferJob
 
 __all__ = [
+    "AckTimeout",
     "BlockHeader",
     "BlockPool",
     "CTRL_MSG_BYTES",
@@ -41,7 +50,12 @@ __all__ = [
     "Credit",
     "CreditGranter",
     "CreditLedger",
+    "CreditStarvation",
     "CtrlType",
+    "NegotiationTimeout",
+    "ResendLimitExceeded",
+    "StaleSessionReclaimed",
+    "TransferError",
     "HEADER_BYTES",
     "ProtocolConfig",
     "RdmaMiddleware",

@@ -107,6 +107,22 @@ class SourceBlock:
         self._expect(SourceBlockState.WAITING)
         self.state = SourceBlockState.LOADED
 
+    def scrap(self) -> None:
+        """any non-FREE → FREE (session aborted; contents abandoned).
+
+        Unlike :meth:`release` this is legal from every in-use state —
+        abort can catch a block mid-load, loaded, or awaiting completion.
+        """
+        self._expect(
+            SourceBlockState.LOADING,
+            SourceBlockState.LOADED,
+            SourceBlockState.SENDING,
+            SourceBlockState.WAITING,
+        )
+        self.header = None
+        self.payload = None
+        self.state = SourceBlockState.FREE
+
 
 class SinkBlock:
     """A registered sink-side buffer block (a credit's backing store)."""
@@ -149,3 +165,15 @@ class SinkBlock:
         self.payload = None
         self.state = SinkBlockState.FREE
         return payload
+
+    def revoke(self) -> None:
+        """WAITING → FREE (advertised credit withdrawn; no data landed).
+
+        Used by the stale-session collector: a credit granted to a dead
+        source will never be written into, so the block goes straight
+        back to the free pool.
+        """
+        self._expect(SinkBlockState.WAITING)
+        self.header = None
+        self.payload = None
+        self.state = SinkBlockState.FREE

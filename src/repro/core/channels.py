@@ -35,6 +35,12 @@ class ControlChannel:
         self._recv_channel = CompletionChannel(qp.recv_cq)
         self.sent = 0
         self.received = 0
+        #: Optional fault hook ``(msg) -> None | "drop" | float``: None for
+        #: clean delivery, "drop" to lose the message after the CPU cost is
+        #: paid, a float to delay posting by that many seconds.
+        self.fault_hook = None
+        self.dropped = 0
+        self.delayed = 0
         # Pre-post the receive ring (setup time, not charged).
         for i in range(recv_depth):
             qp.post_recv(RecvWR(length=CTRL_MSG_BYTES, wr_id=i))
@@ -42,6 +48,24 @@ class ControlChannel:
     def send(self, thread: "CpuThread", msg: ControlMessage) -> Generator:
         """Post a control message (unsignalled SEND; fire-and-forget)."""
         yield thread.exec(self.profile.post_send_seconds)
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(msg)
+            if verdict == "drop":
+                # CPU cost was paid, the message never reaches the wire —
+                # models loss the reliable QP cannot see (e.g. a stale
+                # route eating the datagram before the NIC retransmit
+                # window, or an injected switch fault).
+                self.dropped += 1
+                self.engine.trace(
+                    "ctrl", "drop", type=msg.type.value, session=msg.session_id
+                )
+                self.sent += 1
+                return
+            if verdict is not None and verdict > 0:
+                # Delay inline (before posting) so FIFO ordering on the QP
+                # is preserved — only this message's departure slips.
+                self.delayed += 1
+                yield self.engine.timeout(verdict)
         self.engine.trace(
             "ctrl", "send", type=msg.type.value, session=msg.session_id
         )

@@ -41,6 +41,20 @@ class ProtocolConfig:
     send_queue_depth: int = 512
     #: Control QP receive ring size.
     ctrl_recv_depth: int = 128
+    #: Base timeout for control-plane request/reply exchanges (negotiation,
+    #: MR_INFO_REQ when starved, DATASET_DONE_ACK).  Doubled per retry.
+    ctrl_timeout: float = 0.25
+    #: Multiplier applied to ctrl_timeout after each failed attempt.
+    ctrl_backoff: float = 2.0
+    #: Retries (beyond the first attempt) before a control exchange aborts
+    #: the session with a typed error.
+    ctrl_retries: int = 5
+    #: RDMA WRITE failures tolerated per block before the session aborts.
+    max_block_resends: int = 16
+    #: Sink-side: a session with no traffic for this long is reclaimed.
+    session_idle_timeout: float = 5.0
+    #: Sink-side garbage-collector sweep period.
+    gc_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.block_size < 4096:
@@ -57,3 +71,13 @@ class ProtocolConfig:
             raise ValueError("initial_credits cannot exceed the sink pool")
         if self.reader_threads < 1 or self.writer_threads < 1:
             raise ValueError("need at least one reader and one writer thread")
+        if self.ctrl_timeout <= 0:
+            raise ValueError("ctrl_timeout must be positive")
+        if self.ctrl_backoff < 1.0:
+            raise ValueError("ctrl_backoff must be >= 1")
+        if self.ctrl_retries < 0:
+            raise ValueError("ctrl_retries must be >= 0")
+        if self.max_block_resends < 1:
+            raise ValueError("max_block_resends must be >= 1")
+        if self.session_idle_timeout <= 0 or self.gc_interval <= 0:
+            raise ValueError("GC timings must be positive")

@@ -64,6 +64,11 @@ class CreditLedger:
         #: (time, cumulative credits received) — lets experiments verify
         #: the exponential ramp of the ×2 grant policy.
         self.history: List[tuple] = []
+        #: An MR_INFO_REQ is already in flight for this link.  Senders of
+        #: *all* sessions sharing the ledger consult this before asking
+        #: again, so a zero balance with N concurrent jobs produces one
+        #: request, not N.
+        self.request_outstanding = False
 
     @property
     def balance(self) -> int:
@@ -71,12 +76,12 @@ class CreditLedger:
 
     @property
     def waiters(self) -> int:
-        return len(self._credits._getters)
+        return self._credits.waiters
 
     def deposit(self, credits: List[Credit]) -> None:
         """Add granted credits (from an MR_INFO_REP)."""
-        for credit in credits:
-            self._credits.items.append(credit)
+        self.request_outstanding = False
+        self._credits.put_many(credits)
         self.total_received += len(credits)
         self.peak_balance = max(self.peak_balance, self.balance)
         self.history.append((self.engine.now, self.total_received))
@@ -84,11 +89,24 @@ class CreditLedger:
             "credits", "deposit",
             granted=len(credits), balance=self.balance, total=self.total_received,
         )
-        self._credits._dispatch()
+
+    def refund(self, credits: List[Credit]) -> None:
+        """Return credits an aborted session never consumed.
+
+        Unlike :meth:`deposit` this does not count toward
+        ``total_received`` or the grant-ramp history — the sink already
+        accounted for these when it granted them.
+        """
+        self._credits.put_many(credits)
+        self.peak_balance = max(self.peak_balance, self.balance)
 
     def acquire(self):
         """Event resolving to one :class:`Credit` (FIFO wait)."""
         return self._credits.get()
+
+    def cancel(self, event) -> bool:
+        """Withdraw a pending :meth:`acquire` (timed-out/aborted waiter)."""
+        return self._credits.cancel_get(event)
 
 
 class CreditGranter:

@@ -1,0 +1,52 @@
+"""Typed transfer errors raised by the recovery-hardened middleware.
+
+Every abort path fails the job's ``done`` event with one of these
+instead of hanging the engine, so applications (and the chaos harness)
+can distinguish *why* a session died and assert that cleanup ran.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TransferError",
+    "NegotiationTimeout",
+    "AckTimeout",
+    "CreditStarvation",
+    "ResendLimitExceeded",
+    "StaleSessionReclaimed",
+]
+
+
+class TransferError(RuntimeError):
+    """Base class for per-session transfer failures.
+
+    Carries the session id so multi-session callers can attribute the
+    failure without parsing the message.
+    """
+
+    def __init__(self, session_id: int, message: str) -> None:
+        super().__init__(f"session {session_id}: {message}")
+        self.session_id = session_id
+
+
+class NegotiationTimeout(TransferError):
+    """A negotiation request (BLOCK_SIZE/CHANNELS/SESSION) exhausted its
+    retry budget without a reply."""
+
+
+class AckTimeout(TransferError):
+    """DATASET_DONE was (re)sent but no DATASET_DONE_ACK ever arrived."""
+
+
+class CreditStarvation(TransferError):
+    """The source ran dry of credits and repeated MR_INFO_REQs went
+    unanswered within the retry budget."""
+
+
+class ResendLimitExceeded(TransferError):
+    """A block's RDMA WRITE failed more than ``max_block_resends`` times."""
+
+
+class StaleSessionReclaimed(TransferError):
+    """The sink's garbage collector reaped a session that had been idle
+    longer than ``session_idle_timeout``."""

@@ -45,6 +45,9 @@ class TransferOutcome:
     ctrl_received: int
     peak_credits: int
     rnr_naks: int
+    #: Control-plane retransmissions this session needed (timeouts on
+    #: negotiation / MR_INFO_REQ / DATASET_DONE).
+    ctrl_retries: int = 0
 
     @property
     def gbps(self) -> float:
@@ -150,6 +153,9 @@ class RdmaMiddleware:
             )
             yield self.cm.connect(ctrl_qp, remote, port, ("ctrl", client_id))
             ctrl = ControlChannel(ctrl_qp, cfg.ctrl_recv_depth)
+            ctrl_hook = getattr(fault_injector, "ctrl_hook", None)
+            if ctrl_hook is not None:
+                ctrl.fault_hook = ctrl_hook
             data_send_cq = self.device.create_cq()
             data_recv_cq = self.device.create_cq()
             data_qps = []
@@ -161,7 +167,11 @@ class RdmaMiddleware:
                     max_send_wr=cfg.send_queue_depth,
                 )
                 yield self.cm.connect(qp, remote, port, ("data", client_id, i))
-                qp.fault_injector = fault_injector
+                # A FaultInjector exposes its data-plane hook; plain
+                # callables (the original testing interface) pass through.
+                qp.fault_injector = getattr(
+                    fault_injector, "data_qp_hook", fault_injector
+                )
                 data_qps.append(qp)
             data = DataChannels(data_qps)
             pool = BlockPool.build_source(
@@ -217,6 +227,7 @@ class RdmaMiddleware:
                 peak_credits=the_link.ledger.peak_balance,
                 rnr_naks=sum(qp.rnr_naks.count for qp in the_link._data_qps)
                 + the_link._ctrl_qp.rnr_naks.count,
+                ctrl_retries=job.ctrl_retries,
             )
 
         return self.engine.process(_run())

@@ -41,8 +41,7 @@ class BlockPool(Generic[BlockT]):
         self.block_size = block_size
         self.blocks: Dict[int, BlockT] = {b.block_id: b for b in blocks}
         self.free = Store(engine)
-        for b in blocks:
-            self.free.items.append(b)
+        self.free.put_many(blocks)
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -63,8 +62,11 @@ class BlockPool(Generic[BlockT]):
         """Return a block to the free list (must already be FREE state)."""
         if block.block_id not in self.blocks:
             raise KeyError(f"foreign block {block.block_id}")
-        self.free.items.append(block)
-        self.free._dispatch()
+        self.free.put_many([block])
+
+    def cancel_get_free_blk(self, event) -> bool:
+        """Withdraw a pending :meth:`get_free_blk` (aborted waiter)."""
+        return self.free.cancel_get(event)
 
     def by_id(self, block_id: int) -> BlockT:
         return self.blocks[block_id]

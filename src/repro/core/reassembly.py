@@ -21,43 +21,82 @@ class ReassemblyBuffer:
     def __init__(self) -> None:
         #: session id -> next sequence number owed to the application.
         self._next_seq: Dict[int, int] = {}
-        #: (session id, seq) -> (header, payload) parked out-of-order.
-        self._parked: Dict[Tuple[int, int], Tuple[BlockHeader, Any]] = {}
+        #: session id -> {seq: (header, payload)} parked out-of-order.
+        #: Nested per-session so pending()/reclaim are O(session), not
+        #: O(everything parked on the link).
+        self._parked: Dict[int, Dict[int, Tuple[BlockHeader, Any]]] = {}
         self.max_parked = 0
         self.duplicates = 0
+        #: session id -> duplicates dropped for that session (chaos tests
+        #: attribute replay storms to the session that caused them).
+        self.duplicates_by_session: Dict[int, int] = {}
+        #: A "duplicate" whose payload differed from the parked/delivered
+        #: copy.  Still dropped (first-writer-wins, as RDMA WRITE would
+        #: behave), but counted separately — silent divergence is a bug
+        #: signal, not a benign replay.
+        self.payload_conflicts = 0
+
+    def _total_parked(self) -> int:
+        return sum(len(per) for per in self._parked.values())
 
     def pending(self, session_id: int) -> int:
         """Blocks parked for a session (not yet deliverable)."""
-        return sum(1 for (sid, _) in self._parked if sid == session_id)
+        return len(self._parked.get(session_id, ()))
 
     def next_seq(self, session_id: int) -> int:
         return self._next_seq.get(session_id, 0)
+
+    def sessions_with_parked(self) -> List[int]:
+        """Session ids that currently have parked entries."""
+        return [sid for sid, per in self._parked.items() if per]
+
+    def _count_duplicate(self, sid: int, payload: Any, parked_payload: Any,
+                         comparable: bool) -> None:
+        self.duplicates += 1
+        self.duplicates_by_session[sid] = self.duplicates_by_session.get(sid, 0) + 1
+        if comparable and parked_payload != payload:
+            self.payload_conflicts += 1
 
     def push(self, header: BlockHeader, payload: Any) -> List[Tuple[BlockHeader, Any]]:
         """Insert an arrival; return the blocks now deliverable in order.
 
         Duplicate or stale sequence numbers are counted and dropped
         (RDMA WRITE is reliable, so these indicate an application replay —
-        tests use them to assert idempotence).
+        tests use them to assert idempotence).  A duplicate still parked
+        here is additionally checked for payload divergence.
         """
         sid = header.session_id
         nxt = self._next_seq.get(sid, 0)
-        if header.seq < nxt or header.key() in self._parked:
-            self.duplicates += 1
+        per = self._parked.setdefault(sid, {})
+        if header.seq < nxt:
+            # Already delivered; the original payload is gone so divergence
+            # is undetectable here.
+            self._count_duplicate(sid, payload, None, comparable=False)
             return []
-        self._parked[header.key()] = (header, payload)
-        self.max_parked = max(self.max_parked, len(self._parked))
+        if header.seq in per:
+            self._count_duplicate(sid, payload, per[header.seq][1], comparable=True)
+            return []
+        per[header.seq] = (header, payload)
+        self.max_parked = max(self.max_parked, self._total_parked())
         released: List[Tuple[BlockHeader, Any]] = []
-        while (sid, nxt) in self._parked:
-            released.append(self._parked.pop((sid, nxt)))
+        while nxt in per:
+            released.append(per.pop(nxt))
             nxt += 1
         self._next_seq[sid] = nxt
+        if not per:
+            del self._parked[sid]
         return released
 
-    def finish_session(self, session_id: int) -> int:
-        """Close a session; returns (and discards) any stranded blocks."""
-        stranded = [key for key in self._parked if key[0] == session_id]
-        for key in stranded:
-            del self._parked[key]
+    def reclaim_session(self, session_id: int) -> List[Tuple[BlockHeader, Any]]:
+        """Close a session and hand back its stranded entries.
+
+        The sink GC needs the actual (header, payload) tuples so it can
+        free the pool blocks still holding the payloads.
+        """
+        per = self._parked.pop(session_id, {})
         self._next_seq.pop(session_id, None)
-        return len(stranded)
+        return [per[seq] for seq in sorted(per)]
+
+    def finish_session(self, session_id: int) -> int:
+        """Close a session; returns the number of discarded stranded blocks."""
+        return len(self.reclaim_session(session_id))

@@ -9,16 +9,25 @@ blocks via one-sided RDMA WRITE with zero sink CPU.  Its threads only:
 - consume READY blocks in order (``get_ready_blk``), hand payload to the
   application's data sink (file system, /dev/null), and recycle blocks
   (``put_free_blk``), triggering fresh grants.
+
+Recovery: duplicate negotiation requests are answered idempotently (a
+retransmitting source must converge on one session, one grant), completed
+sessions have their bookkeeping retired so the dicts stay bounded, and a
+lazily-running garbage collector reclaims sessions idle past
+``session_idle_timeout`` — freeing parked reassembly blocks and, once no
+live session shares the pool, revoking credits a dead source can never
+honour.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from repro.core.blocks import SinkBlock
+from repro.core.blocks import SinkBlock, SinkBlockState
 from repro.core.channels import ControlChannel
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditGranter
+from repro.core.errors import StaleSessionReclaimed
 from repro.core.messages import BlockHeader, ControlMessage, CtrlType
 from repro.core.pool import BlockPool
 from repro.core.reassembly import ReassemblyBuffer
@@ -61,9 +70,20 @@ class SinkEngine:
         self._consumed_bytes: Dict[int, int] = {}
         self._finished_blocks = 0
         self._dataset_done_total: Dict[int, int] = {}
-        #: Succeeds per session once everything is consumed and acked.
+        #: Succeeds per session once everything is consumed and acked;
+        #: fails (defused) with :class:`StaleSessionReclaimed` when the GC
+        #: reaps the session.
         self.session_done: Dict[int, Event] = {}
+        #: session id -> total bytes, for sessions already acked and
+        #: retired — lets a retransmitted DATASET_DONE be re-acked
+        #: idempotently after cleanup.
+        self._acked: Dict[int, int] = {}
+        #: session id -> last control/consumption activity timestamp.
+        self._last_activity: Dict[int, float] = {}
+        self.sessions_reclaimed = 0
+        self.stray_messages = 0
         self._consumers_started = False
+        self._gc_running = False
 
     # -- public -----------------------------------------------------------------
     def start(self) -> None:
@@ -77,12 +97,17 @@ class SinkEngine:
     def consumed_bytes(self, session_id: int) -> int:
         return self._consumed_bytes.get(session_id, 0)
 
+    def active_sessions(self) -> int:
+        return len(self._expected_bytes)
+
     # -- control plane -------------------------------------------------------------
     def _control_thread(self) -> Generator:
         thread = self.host.thread("snk-ctrl", "app")
         while True:
             msgs = yield from self.ctrl.receive(thread)
             for msg in msgs:
+                if msg.session_id in self._expected_bytes:
+                    self._last_activity[msg.session_id] = self.engine.now
                 yield from self._dispatch(thread, msg)
 
     def _dispatch(self, thread, msg: ControlMessage) -> Generator:
@@ -110,28 +135,67 @@ class SinkEngine:
             )
         elif msg.type is CtrlType.SESSION_REQ:
             assert self.granter is not None, "block size not negotiated"
+            if msg.session_id in self._expected_bytes:
+                # Duplicate from a retransmitting source: the session (and
+                # its initial grant) already exist — accept again but grant
+                # nothing, or the pool would leak one credit per retry.
+                yield from self.ctrl.send(
+                    thread,
+                    ControlMessage(CtrlType.SESSION_REP, msg.session_id, (True, ())),
+                )
+                return
+            # A finished session's id may be legitimately reused.
+            self._acked.pop(msg.session_id, None)
             self._expected_bytes[msg.session_id] = msg.data
-            self._consumed_bytes.setdefault(msg.session_id, 0)
-            self.session_done.setdefault(msg.session_id, Event(self.engine))
+            self._consumed_bytes[msg.session_id] = 0
+            self._last_activity[msg.session_id] = self.engine.now
+            self.session_done[msg.session_id] = Event(self.engine)
             if not self._consumers_started:
                 self._consumers_started = True
                 for i in range(self.config.writer_threads):
                     self.engine.process(self._consumer_thread(i))
+            if not self._gc_running:
+                self._gc_running = True
+                self.engine.process(self._gc_thread())
             initial = tuple(self.granter.initial_grant(self.config.initial_credits))
             yield from self.ctrl.send(
                 thread,
                 ControlMessage(CtrlType.SESSION_REP, msg.session_id, (True, initial)),
             )
         elif msg.type is CtrlType.BLOCK_DONE:
+            if msg.session_id not in self._expected_bytes:
+                # In flight when its session was reclaimed (or a replay).
+                # The block's region may since have been refunded to a live
+                # session or revoked — not ours to touch.
+                self.stray_messages += 1
+                return
             yield from self._on_block_done(thread, msg)
         elif msg.type is CtrlType.MR_INFO_REQ:
-            assert self.granter is not None
-            granted = self.granter.on_request()
-            if granted:
-                yield from self._send_credits(thread, msg.session_id, granted)
+            # Credits are link-level: answer as long as *any* session is
+            # live, whichever session id the starved sender stamped on it.
+            if self.granter is not None and self._expected_bytes:
+                granted = self.granter.on_request()
+                if granted:
+                    yield from self._send_credits(thread, msg.session_id, granted)
+            else:
+                self.stray_messages += 1
         elif msg.type is CtrlType.DATASET_DONE:
-            self._dataset_done_total[msg.session_id] = msg.data
-            yield from self._maybe_finish(thread, msg.session_id)
+            if msg.session_id in self._acked:
+                # The original ACK was sent (and possibly lost) after the
+                # session was retired: re-ack idempotently.
+                yield from self.ctrl.send(
+                    thread,
+                    ControlMessage(
+                        CtrlType.DATASET_DONE_ACK,
+                        msg.session_id,
+                        self._acked[msg.session_id],
+                    ),
+                )
+            elif msg.session_id in self._expected_bytes:
+                self._dataset_done_total[msg.session_id] = msg.data
+                yield from self._maybe_finish(thread, msg.session_id)
+            else:
+                self.stray_messages += 1
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"sink got unexpected control message {msg.type}")
 
@@ -173,6 +237,8 @@ class SinkEngine:
             self._consumed_bytes[header.session_id] = (
                 self._consumed_bytes.get(header.session_id, 0) + header.length
             )
+            if header.session_id in self._expected_bytes:
+                self._last_activity[header.session_id] = self.engine.now
             granted = self.granter.on_block_freed()
             if granted:
                 yield from self._send_credits(thread, header.session_id, granted)
@@ -189,7 +255,73 @@ class SinkEngine:
             # Mark before yielding: two consumer threads can both reach
             # this point in the same instant otherwise.
             done.succeed(total)
+            # Retire the GC-relevant bookkeeping so the dicts stay bounded
+            # on long-lived links; _consumed_bytes and session_done remain
+            # for post-run observability.
+            self._acked[session_id] = total
+            self._expected_bytes.pop(session_id, None)
+            self._dataset_done_total.pop(session_id, None)
+            self._last_activity.pop(session_id, None)
+            self.reassembly.reclaim_session(session_id)  # drops the seq cursor
             yield from self.ctrl.send(
                 thread,
                 ControlMessage(CtrlType.DATASET_DONE_ACK, session_id, total),
             )
+
+    # -- stale-session garbage collection --------------------------------------------
+    def _gc_thread(self) -> Generator:
+        """Sweep idle sessions.  Runs only while sessions are live, so a
+        drained engine is not kept awake by a housekeeping timer; the next
+        SESSION_REQ restarts it."""
+        while self._expected_bytes:
+            yield self.engine.timeout(self.config.gc_interval)
+            now = self.engine.now
+            for sid in list(self._expected_bytes):
+                last = self._last_activity.get(sid, now)
+                if now - last >= self.config.session_idle_timeout:
+                    self._reclaim_session(sid)
+        self._gc_running = False
+
+    def _reclaim_session(self, session_id: int) -> None:
+        """Free everything a dead session still pins at the sink."""
+        assert self.pool is not None
+        self.sessions_reclaimed += 1
+        self.engine.trace("sink", "gc_reclaim", session=session_id)
+        # Parked out-of-order arrivals hold READY blocks with payload.
+        for _hdr, blk in self.reassembly.reclaim_session(session_id):
+            blk.consume()
+            self.pool.put_free_blk(blk)
+        # In-order deliveries the consumers have not picked up yet.
+        survivors = [
+            item for item in self._ready.items if item[0].session_id != session_id
+        ]
+        for hdr, blk in self._ready.items:
+            if hdr.session_id == session_id:
+                blk.consume()
+                self.pool.put_free_blk(blk)
+        self._ready.items.clear()
+        self._ready.items.extend(survivors)
+        self._expected_bytes.pop(session_id, None)
+        self._dataset_done_total.pop(session_id, None)
+        self._last_activity.pop(session_id, None)
+        done = self.session_done.get(session_id)
+        if done is not None and not done.triggered:
+            # Defused: reclamation is the handling — whoever polls the
+            # event later still sees the typed error.
+            done.fail(
+                StaleSessionReclaimed(
+                    session_id,
+                    f"idle past {self.config.session_idle_timeout}s, reclaimed",
+                )
+            ).defuse()
+        if not self._expected_bytes:
+            # No live session shares the pool: advertised credits held by
+            # dead sources can never be honoured — revoke them so the next
+            # session starts from a full pool.
+            for blk in self.pool.blocks.values():
+                if blk.state is SinkBlockState.WAITING:
+                    blk.mr.take(blk.mr.buffer.addr)  # discard unnotified data
+                    blk.revoke()
+                    self.pool.put_free_blk(blk)
+            if self.granter is not None:
+                self.granter.pending_request = False

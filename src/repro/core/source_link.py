@@ -18,6 +18,15 @@ Shared threads (Figure 2's pool):
 
 Per-job threads: readers (load payload into blocks) and a sender (pair
 LOADED blocks with credits, post RDMA WRITEs).
+
+Recovery model: every control-plane exchange (negotiation requests,
+MR_INFO_REQ when starved, the DATASET_DONE/ACK handshake) carries a
+timeout with exponential backoff and a bounded retry budget; each block's
+RDMA WRITE may fail at most ``max_block_resends`` times.  Exhausting any
+budget aborts the session *gracefully*: pool blocks return to the free
+list, unconsumed credits are refunded to the shared ledger, and the job's
+``done`` event fails with a typed :class:`~repro.core.errors.TransferError`
+instead of hanging the engine.
 """
 
 from __future__ import annotations
@@ -29,9 +38,16 @@ from repro.core.blocks import SourceBlock
 from repro.core.channels import ControlChannel, DataChannels
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditLedger
+from repro.core.errors import (
+    AckTimeout,
+    CreditStarvation,
+    NegotiationTimeout,
+    ResendLimitExceeded,
+    TransferError,
+)
 from repro.core.messages import BlockHeader, ControlMessage, CtrlType
 from repro.core.pool import BlockPool
-from repro.sim.events import Event
+from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Store
 from repro.verbs.cq import CompletionChannel, CompletionQueue
 
@@ -69,6 +85,8 @@ class TransferJob:
         self.total_blocks = -(-total_bytes // self.block_size)
         self.completed_blocks = 0
         self.resends = 0
+        #: Control-plane retransmissions (timed-out requests resent).
+        self.ctrl_retries = 0
         #: Per-block source-side latency: post of the RDMA WRITE to the
         #: polled completion (includes the RC ACK round trip), seconds.
         self.block_latencies: list = []
@@ -80,6 +98,12 @@ class TransferJob:
         }
         #: Succeeds (with this job) when the sink acknowledges the dataset.
         self.done: Event = Event(link.engine)
+        #: Succeeds when the session aborts — always success-typed so it
+        #: can sit inside AnyOf waits without failing them; the *typed*
+        #: failure goes through ``done``.
+        self._abort: Event = Event(link.engine)
+        self.aborted = False
+        self.error: Optional[TransferError] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
@@ -112,14 +136,24 @@ class SourceLink:
         self.ledger = CreditLedger(self.engine)
         self.jobs: Dict[int, TransferJob] = {}
         self.mr_requests_sent = 0
+        #: Inbound control messages for finished/aborted/unknown sessions
+        #: (stale retransmission replies, duplicate ACKs) — counted, not
+        #: fatal: with retries in play they are expected traffic.
+        self.stray_messages = 0
         self._wr_ids = itertools.count()
-        self._inflight: Dict[int, Tuple[TransferJob, SourceBlock, Credit]] = {}
+        #: wr_id -> (job, block, credit, failed_attempts).
+        self._inflight: Dict[int, Tuple[TransferJob, SourceBlock, Credit, int]] = {}
         self._active_jobs = 0
         self._started = False
 
     # -- public API --------------------------------------------------------------
     def transfer(self, data_source: Any, total_bytes: int, session_id: int):
-        """Process event resolving to the finished :class:`TransferJob`."""
+        """Process event resolving to the finished :class:`TransferJob`.
+
+        The process *fails* with a :class:`TransferError` subclass when the
+        session aborts (timeout budgets exhausted); all pool blocks and
+        credits have been reclaimed by then.
+        """
         job = TransferJob(self, session_id, total_bytes, data_source)
         if session_id in self.jobs:
             raise ValueError(f"session {session_id} already active on this link")
@@ -133,74 +167,238 @@ class SourceLink:
         def _run() -> Generator:
             thread = self.host.thread(f"src-nego-{session_id}", "app")
             yield from self._negotiate(thread, job)
-            job.started_at = self.engine.now
-            for i in range(self.config.reader_threads):
-                self.engine.process(self._reader_thread(job, i))
-            self.engine.process(self._sender_thread(job))
+            if not job.aborted:
+                job.started_at = self.engine.now
+                for i in range(self.config.reader_threads):
+                    self.engine.process(self._reader_thread(job, i))
+                self.engine.process(self._sender_thread(job))
             finished: TransferJob = yield job.done
             return finished
 
         return self.engine.process(_run())
 
+    # -- abort / cleanup -------------------------------------------------------------
+    def _abort_job(self, job: TransferJob, exc: TransferError) -> None:
+        """Tear a session down without leaking link-shared resources.
+
+        Idempotent.  Reclaims blocks parked in the loaded queue here;
+        blocks held by a live reader/sender or posted in ``_inflight`` are
+        recycled by their owning thread once it observes the abort (that
+        thread holds the only safe reference at that moment).
+        """
+        if job.aborted or job.done.triggered:
+            return
+        job.aborted = True
+        job.error = exc
+        self.jobs.pop(job.session_id, None)
+        self._active_jobs -= 1
+        while job._loaded.items:
+            blk = job._loaded.items.popleft()
+            if blk is None:
+                continue  # sender-release sentinel
+            blk.scrap()
+            self.pool.put_free_blk(blk)
+        self.engine.trace(
+            "link", "abort", session=job.session_id, error=type(exc).__name__
+        )
+        job._abort.succeed()
+        job.done.fail(exc)
+
+    def _recycle(self, block: SourceBlock, credit: Optional[Credit] = None) -> None:
+        """Return an abandoned block (and optionally its credit) to the
+        shared pools."""
+        block.scrap()
+        self.pool.put_free_blk(block)
+        if credit is not None:
+            # The WRITE never landed (or the session died before BLOCK_DONE
+            # was meaningful), so the sink region is still writable: hand
+            # the credit to whichever session acquires it next.
+            self.ledger.refund([credit])
+
+    # -- control-plane request/reply with retry ----------------------------------------
+    def _request_reply(
+        self,
+        thread,
+        job: TransferJob,
+        req_type: CtrlType,
+        payload: Any,
+        rep_type: CtrlType,
+    ) -> Generator:
+        """Send ``req_type`` and await ``rep_type`` under the retry budget.
+
+        Returns the reply message, or ``None`` after aborting the job with
+        :class:`NegotiationTimeout`.
+        """
+        sid = job.session_id
+        store = job._replies[rep_type]
+        timeout = self.config.ctrl_timeout
+        attempts = self.config.ctrl_retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                job.ctrl_retries += 1
+            yield from self.ctrl.send(thread, ControlMessage(req_type, sid, payload))
+            get_ev = store.get()
+            timer = self.engine.timeout(timeout)
+            outcome = yield AnyOf(self.engine, [get_ev, timer])
+            if get_ev in outcome:
+                return outcome[get_ev]
+            store.cancel_get(get_ev)
+            if get_ev.triggered and get_ev.ok:
+                # The reply slipped in between the timer firing and this
+                # process resuming — same instant, still a win.
+                return get_ev.value
+            timeout *= self.config.ctrl_backoff
+        self._abort_job(
+            job,
+            NegotiationTimeout(
+                sid, f"no {rep_type.value} after {attempts} attempts"
+            ),
+        )
+        return None
+
     # -- negotiation (phase 1 of §IV-C) ---------------------------------------------
     def _negotiate(self, thread, job: TransferJob) -> Generator:
         sid = job.session_id
-        yield from self.ctrl.send(
-            thread, ControlMessage(CtrlType.BLOCK_SIZE_REQ, sid, job.block_size)
+        reply = yield from self._request_reply(
+            thread, job, CtrlType.BLOCK_SIZE_REQ, job.block_size,
+            CtrlType.BLOCK_SIZE_REP,
         )
-        reply: ControlMessage = yield job._replies[CtrlType.BLOCK_SIZE_REP].get()
+        if reply is None:
+            return
         if not reply.data:
-            raise RuntimeError(f"sink rejected block size {job.block_size}")
-        yield from self.ctrl.send(
-            thread, ControlMessage(CtrlType.CHANNELS_REQ, sid, len(self.data))
+            self._abort_job(
+                job,
+                NegotiationTimeout(sid, f"sink rejected block size {job.block_size}"),
+            )
+            return
+        reply = yield from self._request_reply(
+            thread, job, CtrlType.CHANNELS_REQ, len(self.data),
+            CtrlType.CHANNELS_REP,
         )
-        reply = yield job._replies[CtrlType.CHANNELS_REP].get()
+        if reply is None:
+            return
         if not reply.data:
-            raise RuntimeError("sink rejected channel count")
-        yield from self.ctrl.send(
-            thread, ControlMessage(CtrlType.SESSION_REQ, sid, job.total_bytes)
+            self._abort_job(job, NegotiationTimeout(sid, "sink rejected channel count"))
+            return
+        reply = yield from self._request_reply(
+            thread, job, CtrlType.SESSION_REQ, job.total_bytes,
+            CtrlType.SESSION_REP,
         )
-        reply = yield job._replies[CtrlType.SESSION_REP].get()
-        accepted, initial_credits = reply.data
+        if reply is None:
+            return
+        accepted, _initial = reply.data  # credits deposited by the control thread
         if not accepted:
-            raise RuntimeError("sink rejected session")
-        if initial_credits:
-            self.ledger.deposit(list(initial_credits))
+            self._abort_job(job, NegotiationTimeout(sid, "sink rejected session"))
+            return
 
     # -- per-job threads -----------------------------------------------------------
     def _reader_thread(self, job: TransferJob, index: int) -> Generator:
         thread = self.host.thread(f"src-reader{job.session_id}.{index}", "app")
-        while True:
+        while not job.aborted:
             if job._next_load_seq >= job.total_blocks:
                 return
             seq = job._next_load_seq
             job._next_load_seq += 1
             offset, length = job._block_extent(seq)
-            block: SourceBlock = yield self.pool.get_free_blk()
+            get_ev = self.pool.get_free_blk()
+            outcome = yield AnyOf(self.engine, [get_ev, job._abort])
+            if get_ev in outcome:
+                block: SourceBlock = outcome[get_ev]
+            else:
+                self.pool.cancel_get_free_blk(get_ev)
+                if get_ev.triggered and get_ev.ok:
+                    # Raced with the abort: we own the block, hand it back.
+                    self.pool.put_free_blk(get_ev.value)
+                return
             block.reserve()
             payload = yield from job.data_source.read(thread, length, seq)
+            if job.aborted:
+                self._recycle(block)
+                return
             header = BlockHeader(job.session_id, seq, offset, length)
             block.loaded(header, payload)
             yield job._loaded.put(block)
+        return
+
+    def _acquire_credit(self, thread, job: TransferJob) -> Generator:
+        """Obtain one credit, begging the sink (deduplicated MR_INFO_REQ)
+        when the shared ledger runs dry.
+
+        Returns a credit, or ``None`` when the job aborted — either
+        externally or because the retry budget ran out
+        (:class:`CreditStarvation`).
+        """
+        get_ev = self.ledger.acquire()
+        if get_ev.triggered:
+            return get_ev.value  # balance was positive: no stall, no request
+        timeout = self.config.ctrl_timeout
+        attempts = 0
+        while True:
+            if not self.ledger.request_outstanding:
+                # One request in flight per *link*, however many jobs are
+                # starved — the grant lands in the shared ledger anyway.
+                self.ledger.request_outstanding = True
+                self.mr_requests_sent += 1
+                if attempts:
+                    job.ctrl_retries += 1
+                yield from self.ctrl.send(
+                    thread, ControlMessage(CtrlType.MR_INFO_REQ, job.session_id)
+                )
+            timer = self.engine.timeout(timeout)
+            outcome = yield AnyOf(self.engine, [get_ev, timer, job._abort])
+            if get_ev in outcome:
+                return outcome[get_ev]
+            self.ledger.cancel(get_ev)
+            if get_ev.triggered and get_ev.ok:
+                return get_ev.value
+            if job.aborted:
+                return None
+            attempts += 1
+            if attempts > self.config.ctrl_retries:
+                self._abort_job(
+                    job,
+                    CreditStarvation(
+                        job.session_id,
+                        f"no credits after {attempts} MR_INFO_REQ attempts",
+                    ),
+                )
+                return None
+            # Our outstanding request (whoever sent it) went unanswered
+            # long enough — clear the dedupe latch and ask again.
+            self.ledger.request_outstanding = False
+            timeout *= self.config.ctrl_backoff
+            get_ev = self.ledger.acquire()
+            if get_ev.triggered:
+                return get_ev.value
 
     def _sender_thread(self, job: TransferJob) -> Generator:
         thread = self.host.thread(f"src-sender{job.session_id}", "app")
         while True:
-            block: SourceBlock = yield job._loaded.get()
+            get_ev = job._loaded.get()
+            outcome = yield AnyOf(self.engine, [get_ev, job._abort])
+            if get_ev in outcome:
+                block: Optional[SourceBlock] = outcome[get_ev]
+            else:
+                job._loaded.cancel_get(get_ev)
+                if get_ev.triggered and get_ev.ok and get_ev.value is not None:
+                    self._recycle(get_ev.value)
+                return
             if block is None:
                 return  # all blocks of this job completed
-            if self.ledger.balance == 0:
-                # Out of credits: beg the sink (the RTT-costing situation
-                # proactive feedback exists to avoid).
-                self.mr_requests_sent += 1
-                yield from self.ctrl.send(
-                    thread, ControlMessage(CtrlType.MR_INFO_REQ, job.session_id)
-                )
-            credit: Credit = yield self.ledger.acquire()
+            if job.aborted:
+                self._recycle(block)
+                return
+            credit = yield from self._acquire_credit(thread, job)
+            if credit is None:
+                self._recycle(block)
+                return
+            if job.aborted:
+                self._recycle(block, credit)
+                return
             assert block.header is not None
             block.sending()
             wr_id = next(self._wr_ids)
-            self._inflight[wr_id] = (job, block, credit)
+            self._inflight[wr_id] = (job, block, credit, 0)
             job._post_times[wr_id] = self.engine.now
             yield from self.data.post_write(
                 thread, block, credit, block.header, wr_id=wr_id
@@ -214,8 +412,13 @@ class SourceLink:
             yield self.data_cc.wait(thread)
             wcs = yield self.data_send_cq.poll(thread, max_entries=64)
             for wc in wcs:
-                job, block, credit = self._inflight.pop(wc.wr_id)
+                job, block, credit, attempts = self._inflight.pop(wc.wr_id)
                 posted_at = job._post_times.pop(wc.wr_id, None)
+                if job.aborted:
+                    # The session died while this WRITE was in flight; the
+                    # completion thread holds the last live reference.
+                    self._recycle(block, credit)
+                    continue
                 if posted_at is not None and wc.ok:
                     job.block_latencies.append(self.engine.now - posted_at)
                 if wc.ok:
@@ -240,6 +443,7 @@ class SourceLink:
                                 job.total_bytes,
                             ),
                         )
+                        self.engine.process(self._ack_watchdog(job))
                 else:
                     # Failed WRITE (Fig. 6: WAITING → LOADED re-send).
                     # The payload never landed, so the credit's region is
@@ -249,17 +453,54 @@ class SourceLink:
                     # advertised sink pool, leave the retransmission
                     # unable to ever acquire a region (head-of-line
                     # deadlock).
+                    attempts += 1
+                    if attempts > self.config.max_block_resends:
+                        seq = block.header.seq if block.header else -1
+                        self._recycle(block, credit)
+                        self._abort_job(
+                            job,
+                            ResendLimitExceeded(
+                                job.session_id,
+                                f"block seq {seq} failed {attempts} times",
+                            ),
+                        )
+                        continue
                     job.resends += 1
                     block.resend()
                     block.sending()
                     wr_id = next(self._wr_ids)
-                    self._inflight[wr_id] = (job, block, credit)
+                    self._inflight[wr_id] = (job, block, credit, attempts)
                     job._post_times[wr_id] = self.engine.now
                     assert block.header is not None
                     yield from self.data.post_write(
                         thread, block, credit, block.header, wr_id=wr_id
                     )
                     block.waiting()
+
+    def _ack_watchdog(self, job: TransferJob) -> Generator:
+        """Retransmit DATASET_DONE until the ACK lands, then give up with
+        a typed :class:`AckTimeout`."""
+        thread = self.host.thread(f"src-ack{job.session_id}", "app")
+        timeout = self.config.ctrl_timeout
+        attempts = self.config.ctrl_retries + 1
+        for attempt in range(attempts):
+            yield self.engine.timeout(timeout)
+            if job.done.triggered or job.aborted:
+                return
+            timeout *= self.config.ctrl_backoff
+            if attempt + 1 == attempts:
+                break
+            job.ctrl_retries += 1
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.DATASET_DONE, job.session_id, job.total_bytes),
+            )
+        self._abort_job(
+            job,
+            AckTimeout(
+                job.session_id, f"no DATASET_DONE_ACK after {attempts} attempts"
+            ),
+        )
 
     def _control_thread(self) -> Generator:
         thread = self.host.thread("src-ctrl", "app")
@@ -269,16 +510,32 @@ class SourceLink:
                 if msg.type is CtrlType.MR_INFO_REP:
                     self.ledger.deposit(list(msg.data))
                     continue
+                if msg.type is CtrlType.SESSION_REP:
+                    # Deposit centrally (not in the negotiator): with
+                    # retries in play a stale duplicate reply may never be
+                    # drained from the job's reply store, but credits are
+                    # link-level and must reach the shared ledger exactly
+                    # once per grant.  The sink replies to duplicate
+                    # SESSION_REQs with an empty grant, so this cannot
+                    # double-deposit.
+                    _accepted, initial = msg.data
+                    if initial:
+                        self.ledger.deposit(list(initial))
                 job = self.jobs.get(msg.session_id)
-                if job is None:  # pragma: no cover - defensive
-                    raise RuntimeError(
-                        f"control message for unknown session {msg.session_id}"
-                    )
+                if job is None:
+                    # Finished or aborted session: stale replies and
+                    # duplicate ACKs are expected under retransmission.
+                    self.stray_messages += 1
+                    continue
                 if msg.type is CtrlType.DATASET_DONE_ACK:
                     job.finished_at = self.engine.now
                     self._active_jobs -= 1
+                    # Completed sessions leave the table so the session id
+                    # can be reused and the dict stays bounded on
+                    # long-lived links.
+                    self.jobs.pop(msg.session_id, None)
                     job.done.succeed(job)
                 elif msg.type in job._replies:
                     yield job._replies[msg.type].put(msg)
-                else:  # pragma: no cover - defensive
-                    raise RuntimeError(f"unexpected control message {msg.type}")
+                else:
+                    self.stray_messages += 1

@@ -31,6 +31,8 @@ __all__ = [
     "check_qp_ablation",
     "run_iodepth_sweep",
     "check_iodepth_sweep",
+    "run_recovery_ablation",
+    "check_recovery_ablation",
     "render_rows",
 ]
 
@@ -150,6 +152,49 @@ def check_iodepth_sweep(rows: List[Row]) -> None:
         assert b >= a * 0.98
     assert gbps[0] < 0.5 * gbps[-1]
     assert gbps[-1] > 0.9 * 40.0
+
+
+# -- 5: recovery overhead under injected faults -----------------------------------------
+def run_recovery_ablation() -> List[Row]:
+    """Goodput cost of the Fig. 6 re-send path on the ANI WAN.
+
+    Sweeps the per-WRITE transient fault rate; every run must still
+    deliver byte-exact and leak nothing (the chaos harness checks), so
+    the only degree of freedom is how much goodput recovery costs.
+    """
+    from repro.faults import FaultPlan, run_chaos
+
+    rows: List[Row] = []
+    for rate in (0.0, 0.02, 0.05, 0.10):
+        r = run_chaos(
+            "ani-wan",
+            total_bytes=256 << 20,
+            plan=FaultPlan(seed=0, write_fault_rate=rate),
+        )
+        if not r.clean:
+            raise AssertionError(
+                f"chaos run at fault rate {rate} was not clean: {r.leaks}"
+            )
+        assert r.outcome is not None
+        rows.append(
+            Row(
+                f"write fault rate {rate:.0%}",
+                r.outcome.gbps,
+                f"resends={r.resends} faults={r.write_faults}",
+            )
+        )
+    return rows
+
+
+def check_recovery_ablation(rows: List[Row]) -> None:
+    resends = [int(r.detail.split()[0].split("=")[1]) for r in rows]
+    # Fault-free baseline needs no re-sends; injected faults exercise them.
+    assert resends[0] == 0
+    assert all(n > 0 for n in resends[1:])
+    assert resends[1] < resends[-1]
+    # Recovery is cheap: even at 10% WRITE faults the pipeline keeps the
+    # pipe busy, costing a bounded slice of fault-free goodput.
+    assert rows[-1].gbps > rows[0].gbps * 0.5
 
 
 def render_rows(rows: List[Row], title: str) -> Table:

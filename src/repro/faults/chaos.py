@@ -1,0 +1,232 @@
+"""One-call chaos harness: transfer under faults, audit the wreckage.
+
+``run_chaos`` drives a memory-to-memory RFTP transfer over a testbed with
+a :class:`FaultPlan` armed, then checks the only two acceptable endings:
+
+- the transfer **completes** — delivery must be byte-exact (every block
+  exactly once, payloads intact, in order per session);
+- the transfer **aborts** — the error must be a typed
+  :class:`~repro.core.errors.TransferError` raised within the configured
+  retry budgets, not a hang.
+
+Either way the middleware must come out clean: all source pool blocks
+free, nothing in flight, no stuck credit waiters, no parked reassembly
+entries, and every sink block either free or advertised.  Any violation
+is reported in :attr:`ChaosResult.leaks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.apps.io import CollectingSink, PatternSource
+from repro.core import ProtocolConfig, RdmaMiddleware, TransferOutcome
+from repro.core.blocks import SinkBlockState, SourceBlockState
+from repro.core.errors import TransferError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.testbeds import TESTBEDS, Testbed
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+
+@dataclass
+class ChaosResult:
+    """Outcome and post-mortem of one chaos run."""
+
+    testbed: str
+    plan: FaultPlan
+    completed: bool
+    #: Typed error class name when the transfer aborted, else None.
+    error: Optional[str]
+    outcome: Optional[TransferOutcome]
+    #: Simulated instant at which the client run settled (completed or
+    #: aborted), in seconds.
+    sim_time: float
+    byte_exact: Optional[bool]
+    #: Human-readable invariant violations; empty means a clean run.
+    leaks: Tuple[str, ...]
+    #: Injected-fault counters.
+    write_faults: int = 0
+    ctrl_drops: int = 0
+    ctrl_delays: int = 0
+    latency_spikes: int = 0
+    flaps_fired: int = 0
+    #: Recovery-path counters.
+    resends: int = 0
+    ctrl_retries: int = 0
+    stray_source: int = 0
+    stray_sink: int = 0
+    sessions_reclaimed: int = 0
+    duplicates: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Did the run end in one of the two acceptable states, leak-free?"""
+        if self.leaks:
+            return False
+        if self.completed:
+            return bool(self.byte_exact)
+        return self.error is not None
+
+
+def _verify_delivery(
+    sink: CollectingSink, source: PatternSource, total_bytes: int, block_size: int
+) -> Tuple[bool, List[str]]:
+    problems: List[str] = []
+    total_blocks = -(-total_bytes // block_size)
+    by_seq = {}
+    for header, payload in sink.deliveries:
+        if header.seq in by_seq:
+            problems.append(f"block seq {header.seq} delivered twice")
+        by_seq[header.seq] = (header, payload)
+    if len(by_seq) != total_blocks:
+        problems.append(f"delivered {len(by_seq)}/{total_blocks} blocks")
+    delivered = 0
+    for seq, (header, payload) in sorted(by_seq.items()):
+        expected_len = min(block_size, total_bytes - seq * block_size)
+        if header.length != expected_len:
+            problems.append(f"seq {seq}: length {header.length} != {expected_len}")
+        if payload != (source.tag, seq, expected_len):
+            problems.append(f"seq {seq}: payload corrupted ({payload!r})")
+        delivered += header.length
+    if delivered != total_bytes:
+        problems.append(f"delivered {delivered} bytes, expected {total_bytes}")
+    return not problems, problems
+
+
+def run_chaos(
+    testbed: Union[str, Testbed],
+    total_bytes: int = 256 * 1024 * 1024,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ProtocolConfig] = None,
+    port: int = 2811,
+    horizon: float = 300.0,
+) -> ChaosResult:
+    """Run one m2m transfer under ``plan`` and audit the middleware.
+
+    ``horizon`` bounds the simulation (seconds) so a recovery bug cannot
+    spin forever; hitting it is reported as a leak.
+    """
+    if isinstance(testbed, str):
+        testbed = TESTBEDS[testbed]()
+    plan = plan or FaultPlan()
+    cfg = config or ProtocolConfig()
+    injector = FaultInjector(plan)
+    injector.arm_network(testbed)
+
+    source = PatternSource(testbed.src, tag="chaos")
+    sink = CollectingSink(testbed.dst)
+    server = RdmaMiddleware(testbed.dst, testbed.dst_dev, testbed.cm, cfg)
+    server.serve(port, sink)
+    client = RdmaMiddleware(testbed.src, testbed.src_dev, testbed.cm, cfg)
+
+    holder: dict = {}
+
+    def _run():
+        link = yield client.open_link(testbed.dst_dev, port, cfg, injector)
+        holder["link"] = link
+        try:
+            holder["outcome"] = yield client.transfer(
+                testbed.dst_dev, port, source, total_bytes, link=link
+            )
+        except TransferError as exc:
+            holder["error"] = exc
+
+    engine = testbed.engine
+    proc = engine.process(_run())
+    # run(until=...) pins the clock to the horizon; stamp the instant the
+    # run actually settled so sim_time reports something meaningful.
+    proc.add_callback(lambda _ev: holder.setdefault("settled_at", engine.now))
+    engine.run(until=horizon)
+
+    leaks: List[str] = []
+    if not proc.triggered:
+        leaks.append(
+            f"run did not settle within {horizon}s sim horizon (hang/deadlock)"
+        )
+
+    outcome: Optional[TransferOutcome] = holder.get("outcome")
+    error: Optional[TransferError] = holder.get("error")
+    completed = outcome is not None
+
+    link = holder.get("link")
+    if link is not None:
+        if link.pool.free_count != len(link.pool):
+            leaks.append(
+                f"source pool leak: {link.pool.free_count}/{len(link.pool)} free"
+            )
+        for blk in link.pool.blocks.values():
+            if blk.state is not SourceBlockState.FREE:
+                leaks.append(f"source block {blk.block_id} stuck {blk.state.value}")
+        if link._inflight:
+            leaks.append(f"{len(link._inflight)} WRs still in flight")
+        if link.jobs:
+            leaks.append(f"{len(link.jobs)} jobs never retired: {list(link.jobs)}")
+        if link.ledger.waiters:
+            leaks.append(f"{link.ledger.waiters} credit waiters stuck")
+
+    sink_engine = next(iter(server.sink_engines.values()), None)
+    if sink_engine is not None:
+        parked = sink_engine.reassembly.sessions_with_parked()
+        if parked:
+            leaks.append(f"reassembly entries parked for sessions {parked}")
+        if len(sink_engine._ready.items):
+            leaks.append(f"{len(sink_engine._ready.items)} ready blocks unconsumed")
+        if sink_engine.active_sessions():
+            leaks.append(
+                f"{sink_engine.active_sessions()} sink sessions never retired"
+            )
+        if sink_engine.pool is not None:
+            free_state = waiting = 0
+            for blk in sink_engine.pool.blocks.values():
+                if blk.state is SinkBlockState.FREE:
+                    free_state += 1
+                elif blk.state is SinkBlockState.WAITING:
+                    waiting += 1
+                else:
+                    leaks.append(
+                        f"sink block {blk.block_id} stuck {blk.state.value}"
+                    )
+            if sink_engine.pool.free_count != free_state:
+                leaks.append(
+                    f"sink pool accounting: store has {sink_engine.pool.free_count},"
+                    f" {free_state} blocks are FREE"
+                )
+            if completed and link is not None and link.ledger.balance != waiting:
+                leaks.append(
+                    f"credit imbalance: source holds {link.ledger.balance},"
+                    f" sink advertises {waiting}"
+                )
+
+    byte_exact: Optional[bool] = None
+    if completed:
+        byte_exact, problems = _verify_delivery(
+            sink, source, total_bytes, cfg.block_size
+        )
+        leaks.extend(problems)
+
+    return ChaosResult(
+        testbed=testbed.name,
+        plan=plan,
+        completed=completed,
+        error=type(error).__name__ if error is not None else None,
+        outcome=outcome,
+        sim_time=holder.get("settled_at", engine.now),
+        byte_exact=byte_exact,
+        leaks=tuple(leaks),
+        write_faults=injector.write_faults,
+        ctrl_drops=injector.ctrl_drops,
+        ctrl_delays=injector.ctrl_delays,
+        latency_spikes=injector.latency_spikes,
+        flaps_fired=injector.flaps_fired,
+        resends=outcome.resends if outcome else 0,
+        ctrl_retries=outcome.ctrl_retries if outcome else 0,
+        stray_source=link.stray_messages if link is not None else 0,
+        stray_sink=sink_engine.stray_messages if sink_engine is not None else 0,
+        sessions_reclaimed=(
+            sink_engine.sessions_reclaimed if sink_engine is not None else 0
+        ),
+        duplicates=sink_engine.reassembly.duplicates if sink_engine is not None else 0,
+    )

@@ -1,0 +1,102 @@
+"""Hooks a :class:`FaultPlan` into the simulator's injection seams."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.messages import ControlMessage
+    from repro.testbeds import Testbed
+    from repro.verbs.wr import SendWR
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seeded, per-seam fault source.
+
+    Each seam (data plane, control plane, each network link) draws from
+    its own BLAKE2b-derived stream of the plan's seed, so enabling one
+    fault class never perturbs the sequence another sees — runs stay
+    reproducible as plans evolve.
+
+    Wire-up: pass the injector as ``fault_injector`` to
+    :meth:`RdmaMiddleware.open_link` / ``transfer`` (arms the data QPs and
+    the client control channel) and call :meth:`arm_network` on the
+    testbed (arms link flaps and latency spikes).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        streams = RandomStreams(plan.seed).spawn("faults")
+        self._data_rng = streams.stream("data")
+        self._ctrl_rng = streams.stream("ctrl")
+        self._link_rng = streams.stream("link")
+        self.write_faults = 0
+        self.ctrl_drops = 0
+        self.ctrl_delays = 0
+        self.latency_spikes = 0
+        self.flaps_fired = 0
+
+    # -- verbs.qp seam ---------------------------------------------------------------
+    def data_qp_hook(self, wr: "SendWR") -> bool:
+        """``qp.fault_injector`` interface: True fails this WRITE with a
+        transient WC error (payload discarded, QP survives)."""
+        if self.plan.write_fault_rate <= 0.0:
+            return False
+        if self._data_rng.random() < self.plan.write_fault_rate:
+            self.write_faults += 1
+            return True
+        return False
+
+    # -- core.channels seam ------------------------------------------------------------
+    def ctrl_hook(self, msg: "ControlMessage") -> Union[None, str, float]:
+        """``ControlChannel.fault_hook`` interface: ``"drop"``, a delay in
+        seconds, or ``None`` for clean delivery."""
+        if (
+            self.plan.ctrl_drop_rate > 0.0
+            and msg.type in self.plan.ctrl_droppable
+            and self._ctrl_rng.random() < self.plan.ctrl_drop_rate
+        ):
+            self.ctrl_drops += 1
+            return "drop"
+        if (
+            self.plan.ctrl_delay_rate > 0.0
+            and self._ctrl_rng.random() < self.plan.ctrl_delay_rate
+        ):
+            self.ctrl_delays += 1
+            return self.plan.ctrl_delay_seconds
+        return None
+
+    # -- network.link seam -------------------------------------------------------------
+    def _spike_hook(self, nbytes: int) -> float:
+        if (
+            self.plan.latency_spike_rate > 0.0
+            and self._link_rng.random() < self.plan.latency_spike_rate
+        ):
+            self.latency_spikes += 1
+            return self.plan.latency_spike_seconds
+        return 0.0
+
+    def arm_network(self, testbed: "Testbed") -> None:
+        """Attach latency-spike hooks to every link of the testbed's path
+        and schedule the plan's link flaps (both directions at once)."""
+        links = list(testbed.duplex.forward.links) + list(
+            testbed.duplex.backward.links
+        )
+        if self.plan.latency_spike_rate > 0.0:
+            for link in links:
+                link.fault_hook = self._spike_hook
+        engine = testbed.engine
+        for start, duration in self.plan.link_flaps:
+
+            def _flap(start=start, duration=duration):
+                yield engine.timeout(start)
+                self.flaps_fired += 1
+                for link in links:
+                    link.fail_for(duration)
+
+            engine.process(_flap())

@@ -1,0 +1,86 @@
+"""The declarative description of a chaos experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.messages import CtrlType
+
+__all__ = ["FaultPlan", "DEFAULT_DROPPABLE"]
+
+#: Control messages that are safe to lose: every one of these is a
+#: *request the source retransmits* under its timeout/backoff budget.
+#: BLOCK_DONE and the sink→source replies are deliberately excluded —
+#: they are sent exactly once per event, so losing one strands sink state
+#: the protocol has no retransmission for (the session-idle GC would
+#: eventually reap it, but that turns a droppable-message test into a
+#: GC test).
+DEFAULT_DROPPABLE: Tuple[CtrlType, ...] = (
+    CtrlType.BLOCK_SIZE_REQ,
+    CtrlType.CHANNELS_REQ,
+    CtrlType.SESSION_REQ,
+    CtrlType.MR_INFO_REQ,
+    CtrlType.DATASET_DONE,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, reproducibly.
+
+    All probabilities are per-event (per RDMA WRITE, per control message,
+    per link serialisation).  ``seed`` drives independent per-seam RNG
+    streams, so two runs with the same plan produce byte-identical fault
+    sequences regardless of which seams are enabled.
+    """
+
+    #: Root seed for the per-seam fault streams.
+    seed: int = 0
+    #: Probability an RDMA WRITE completes with a transient WC error
+    #: (exercises Fig. 6's WAITING → LOADED re-send path).
+    write_fault_rate: float = 0.0
+    #: Probability a droppable control message is lost after posting.
+    ctrl_drop_rate: float = 0.0
+    #: Message types :attr:`ctrl_drop_rate` applies to.
+    ctrl_droppable: Tuple[CtrlType, ...] = field(default=DEFAULT_DROPPABLE)
+    #: Probability any control message is delayed before posting.
+    ctrl_delay_rate: float = 0.0
+    #: The injected control delay, seconds.
+    ctrl_delay_seconds: float = 0.05
+    #: Scheduled link outages: ``((start_s, duration_s), ...)`` — both
+    #: directions of the path go down (a real flap kills the fibre).
+    link_flaps: Tuple[Tuple[float, float], ...] = ()
+    #: Probability one link serialisation picks up an extra delay.
+    latency_spike_rate: float = 0.0
+    #: The injected serialisation delay, seconds.
+    latency_spike_seconds: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in (
+            "write_fault_rate",
+            "ctrl_drop_rate",
+            "ctrl_delay_rate",
+            "latency_spike_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value!r}")
+        if self.ctrl_delay_seconds < 0 or self.latency_spike_seconds < 0:
+            raise ValueError("injected delays must be non-negative")
+        for flap in self.link_flaps:
+            if len(flap) != 2:
+                raise ValueError("each link flap is a (start, duration) pair")
+            start, duration = flap
+            if start < 0 or duration <= 0:
+                raise ValueError(f"bad link flap {flap!r}")
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.write_fault_rate
+            or self.ctrl_drop_rate
+            or self.ctrl_delay_rate
+            or self.link_flaps
+            or self.latency_spike_rate
+        )

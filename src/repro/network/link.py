@@ -50,6 +50,29 @@ class Link:
         self.name = name
         self._wire = Resource(engine, capacity=1)
         self.bytes_sent = Counter(f"{name}.bytes")
+        #: Absolute sim time until which the link is down (flap injection).
+        self._down_until = 0.0
+        #: Optional fault hook ``(nbytes) -> float``: extra serialisation
+        #: delay in seconds (latency spike), 0.0 for a clean transit.
+        self.fault_hook = None
+        self.flap_stalls = 0
+        self.latency_spikes = 0
+
+    def fail_for(self, duration: float) -> None:
+        """Take the link down for ``duration`` seconds (a flap).
+
+        In-flight serialisation finishes (bits already on the wire); new
+        transmissions stall until the link comes back.  Overlapping flaps
+        extend the outage.
+        """
+        if duration <= 0:
+            raise ValueError("flap duration must be positive")
+        self._down_until = max(self._down_until, self.engine.now + duration)
+        self.engine.trace("link", "flap", name=self.name, until=self._down_until)
+
+    @property
+    def is_down(self) -> bool:
+        return self.engine.now < self._down_until
 
     def serialize(self, nbytes: int) -> Generator:
         """Process generator: occupy the wire while ``nbytes`` serialise.
@@ -61,9 +84,22 @@ class Link:
             raise ValueError("transfer size must be non-negative")
         if nbytes == 0:
             return
+        while self.engine.now < self._down_until:
+            self.flap_stalls += 1
+            yield self.engine.timeout(self._down_until - self.engine.now)
         yield self._wire.request()
         try:
-            yield self.engine.timeout(nbytes / self.bytes_per_second)
+            # A flap may have started while we queued for the wire.
+            while self.engine.now < self._down_until:
+                self.flap_stalls += 1
+                yield self.engine.timeout(self._down_until - self.engine.now)
+            delay = nbytes / self.bytes_per_second
+            if self.fault_hook is not None:
+                spike = self.fault_hook(nbytes)
+                if spike > 0:
+                    self.latency_spikes += 1
+                    delay += spike
+            yield self.engine.timeout(delay)
         finally:
             self._wire.release()
         self.bytes_sent.add(nbytes)

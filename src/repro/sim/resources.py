@@ -49,6 +49,44 @@ class Store:
     def __len__(self) -> int:
         return len(self.items)
 
+    @property
+    def waiters(self) -> int:
+        """Number of getters currently blocked on an empty store."""
+        return len(self._getters)
+
+    def put_many(self, items) -> int:
+        """Insert a batch of items immediately (non-blocking bulk put).
+
+        Unlike :meth:`put` this never queues the caller: the whole batch
+        must fit, so a store with finite capacity raises ``ValueError``
+        when the batch would overflow.  Waiting getters are served in
+        FIFO order exactly as if the items had been ``put`` one by one.
+        Returns the number of items inserted.
+        """
+        items = list(items)
+        if len(self.items) + len(items) > self.capacity:
+            raise ValueError(
+                f"put_many of {len(items)} items would exceed capacity "
+                f"{self.capacity} (have {len(self.items)})"
+            )
+        self.items.extend(items)
+        self._dispatch()
+        return len(items)
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`get` request.
+
+        Returns True if the event was still queued (and is now removed);
+        False if it already received an item (or was never queued).  Used
+        by timeout/abort paths so a stale getter cannot swallow an item
+        intended for a live waiter.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     def put(self, item: Any) -> Event:
         """Queue ``item``; the returned event fires when the item is stored."""
         event = _PutEvent(self.engine)

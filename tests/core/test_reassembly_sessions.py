@@ -1,0 +1,83 @@
+"""Per-session reassembly bookkeeping: parked indexes, duplicate
+attribution, payload-conflict detection, and session reclamation."""
+
+from repro.core.messages import BlockHeader
+from repro.core.reassembly import ReassemblyBuffer
+
+
+def hdr(sid, seq, length=64):
+    return BlockHeader(sid, seq, seq * length, length)
+
+
+def test_parked_index_is_per_session():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 1), "s1b1")
+    buf.push(hdr(2, 2), "s2b2")
+    buf.push(hdr(2, 3), "s2b3")
+    assert buf.pending(1) == 1
+    assert buf.pending(2) == 2
+    assert buf.pending(3) == 0
+    assert sorted(buf.sessions_with_parked()) == [1, 2]
+    # Releasing session 1 leaves session 2's parked entries untouched.
+    released = buf.push(hdr(1, 0), "s1b0")
+    assert [h.seq for h, _ in released] == [0, 1]
+    assert buf.pending(1) == 0
+    assert buf.pending(2) == 2
+    assert buf.sessions_with_parked() == [2]
+
+
+def test_duplicates_attributed_to_their_session():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 0), "a")
+    buf.push(hdr(1, 0), "a")  # stale: already delivered
+    buf.push(hdr(2, 5), "b")
+    buf.push(hdr(2, 5), "b")  # replay of a parked entry
+    buf.push(hdr(2, 5), "b")
+    assert buf.duplicates == 3
+    assert buf.duplicates_by_session == {1: 1, 2: 2}
+
+
+def test_payload_conflict_detected_while_parked():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 5), "original")
+    released = buf.push(hdr(1, 5), "DIVERGENT")
+    assert released == []
+    assert buf.payload_conflicts == 1
+    assert buf.duplicates == 1
+    # First writer wins: the original payload is still the parked one.
+    buf.push(hdr(1, 0), "p0")
+    buf.push(hdr(1, 1), "p1")
+    buf.push(hdr(1, 2), "p2")
+    buf.push(hdr(1, 3), "p3")
+    released = buf.push(hdr(1, 4), "p4")
+    assert released[-1][1] == "original"
+
+
+def test_conflict_undetectable_after_delivery_counts_duplicate_only():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 0), "delivered")
+    buf.push(hdr(1, 0), "DIVERGENT")  # original payload is gone
+    assert buf.duplicates == 1
+    assert buf.payload_conflicts == 0
+
+
+def test_reclaim_session_returns_stranded_entries_sorted():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 7), "b7")
+    buf.push(hdr(1, 3), "b3")
+    buf.push(hdr(1, 5), "b5")
+    buf.push(hdr(2, 9), "other")
+    stranded = buf.reclaim_session(1)
+    assert [h.seq for h, _ in stranded] == [3, 5, 7]
+    assert buf.pending(1) == 0
+    assert buf.sessions_with_parked() == [2]
+    # The sequence cursor is gone too: a reused session id starts fresh.
+    assert buf.next_seq(1) == 0
+
+
+def test_finish_session_counts_discards():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(4, 2), "x")
+    buf.push(hdr(4, 3), "y")
+    assert buf.finish_session(4) == 2
+    assert buf.finish_session(4) == 0

@@ -77,3 +77,25 @@ def test_rftp_on_demand_ablation(capsys):
 def test_unknown_testbed_rejected():
     with pytest.raises(SystemExit):
         main(["rftp", "--testbed", "mars-lan"])
+
+
+def test_chaos_command_clean_run(capsys):
+    code = main(
+        ["chaos", "--testbed", "roce-lan", "--bytes", "32M",
+         "--write-fault-rate", "0.08", "--seed", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "byte-exact: yes" in out
+    assert "verdict: clean" in out
+
+
+def test_chaos_command_typed_abort_is_clean(capsys):
+    code = main(
+        ["chaos", "--testbed", "roce-lan", "--bytes", "8M",
+         "--link-flap", "0.001:120"]  # outage outlasts every retry budget
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "aborted with" in out
+    assert "verdict: clean" in out

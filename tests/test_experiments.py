@@ -124,3 +124,21 @@ def test_credit_ablation_check_parses_details():
     rows[2] = ablations.Row("on-demand (Tian et al. style)", 9.4, "mr_requests=512")
     with pytest.raises(AssertionError):
         ablations.check_credit_ablation(rows)
+
+
+def test_recovery_ablation_check():
+    rows = [
+        ablations.Row("write fault rate 0%", 4.2, "resends=0 faults=0"),
+        ablations.Row("write fault rate 2%", 3.9, "resends=3 faults=3"),
+        ablations.Row("write fault rate 10%", 3.4, "resends=11 faults=11"),
+    ]
+    ablations.check_recovery_ablation(rows)
+    # A faulty run with zero re-sends means the injector never fired.
+    rows[1] = ablations.Row("write fault rate 2%", 3.9, "resends=0 faults=0")
+    with pytest.raises(AssertionError):
+        ablations.check_recovery_ablation(rows)
+    # Goodput collapse under faults fails the overhead bound.
+    rows[1] = ablations.Row("write fault rate 2%", 3.9, "resends=3 faults=3")
+    rows[2] = ablations.Row("write fault rate 10%", 0.4, "resends=11 faults=11")
+    with pytest.raises(AssertionError):
+        ablations.check_recovery_ablation(rows)
