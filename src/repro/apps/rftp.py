@@ -16,6 +16,7 @@ from typing import Any, Optional
 
 from repro.apps.io import NullSink, ZeroSource
 from repro.core import ProtocolConfig, RdmaMiddleware, TransferOutcome
+from repro.core.errors import TransferError
 from repro.testbeds import Testbed
 
 __all__ = ["RftpServer", "RftpClient", "RftpResult", "run_rftp"]
@@ -64,6 +65,61 @@ class RftpClient:
         return self.middleware.transfer(
             self.testbed.dst_dev, port, self.source, total_bytes
         )
+
+    def put_resumable(
+        self,
+        total_bytes: int,
+        port: int = 2811,
+        resume_attempts: int = 3,
+        resume_backoff: float = 1.0,
+        fault_injector: Any = None,
+    ):
+        """A ``put`` that survives hard mid-transfer death.
+
+        Process event resolving to the final
+        :class:`~repro.core.middleware.TransferOutcome`.  On a typed
+        :class:`~repro.core.errors.TransferError` the client waits
+        ``resume_backoff`` seconds, re-establishes a data channel if none
+        survived, and SESSION_RESUMEs from the sink's restart marker — so
+        only the missing suffix is re-read and re-sent.  After
+        ``resume_attempts`` failed resumes the last typed error is
+        re-raised.
+        """
+        mw = self.middleware
+        testbed = self.testbed
+
+        def _run():
+            link = yield mw.open_link(
+                testbed.dst_dev, port, fault_injector=fault_injector
+            )
+            try:
+                return (
+                    yield mw.transfer(
+                        testbed.dst_dev, port, self.source, total_bytes, link=link
+                    )
+                )
+            except TransferError as exc:
+                last_error = exc
+            for _ in range(resume_attempts):
+                yield mw.engine.timeout(resume_backoff)
+                if link.data.alive_count == 0:
+                    yield mw.reopen_channel(link, testbed.dst_dev, port)
+                try:
+                    return (
+                        yield mw.resume(
+                            testbed.dst_dev,
+                            port,
+                            self.source,
+                            total_bytes,
+                            last_error.session_id,
+                            link=link,
+                        )
+                    )
+                except TransferError as exc:
+                    last_error = exc
+            raise last_error
+
+        return mw.engine.process(_run())
 
     def put_many(self, file_sizes, port: int = 2811, concurrent: bool = False):
         """Transfer several files over ONE connection set (§IV-C multi-

@@ -173,6 +173,11 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         ablations.render_rows(
             rows, "Ablation — recovery overhead vs fault rate (ANI WAN)"
         ).print()
+    elif which == "resume":
+        rows = ablations.run_resume_ablation()
+        ablations.render_rows(
+            rows, "Ablation — integrity, repair, and session resume (ANI WAN)"
+        ).print()
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0
@@ -190,12 +195,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         link_flaps=tuple(
             tuple(float(x) for x in flap.split(":", 1)) for flap in args.link_flap
         ),
+        payload_corrupt_rate=args.payload_corrupt_rate,
+        sink_crashes=tuple(float(x) for x in args.sink_crash),
+        source_crashes=tuple(float(x) for x in args.source_crash),
+        qp_kills=tuple(
+            (float(kill.split(":", 1)[0]), int(kill.split(":", 1)[1]))
+            for kill in args.qp_kill
+        ),
     )
+    config = None
+    if args.no_repair:
+        config = ProtocolConfig(block_repair=False)
     result = run_chaos(
         args.testbed,
         total_bytes=parse_size(args.bytes),
         plan=plan,
+        config=config,
         horizon=args.horizon,
+        resume_attempts=args.resume_attempts,
+        resume_backoff=args.resume_backoff,
     )
     if result.completed:
         assert result.outcome is not None
@@ -207,12 +225,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"at {result.sim_time:.3f}s sim")
     print(f"injected: {result.write_faults} WRITE faults, "
           f"{result.ctrl_drops} ctrl drops, {result.ctrl_delays} ctrl delays, "
-          f"{result.latency_spikes} latency spikes, {result.flaps_fired} link flaps")
+          f"{result.latency_spikes} latency spikes, {result.flaps_fired} link flaps, "
+          f"{result.payload_corruptions} payload corruptions, "
+          f"{result.source_crashes_fired}+{result.sink_crashes_fired} endpoint "
+          f"crashes, {result.qp_kills_fired} QP kills")
     print(f"recovered: {result.resends} block re-sends, "
           f"{result.ctrl_retries} ctrl retries, "
           f"{result.duplicates} duplicate deliveries dropped, "
           f"{result.sessions_reclaimed} sessions GC-reclaimed, "
           f"{result.stray_source}+{result.stray_sink} stray messages")
+    print(f"repaired: {result.checksum_mismatches} checksum mismatches detected, "
+          f"{result.repairs} NACK re-sends, {result.markers_sent} restart markers, "
+          f"{result.resume_attempts_used} resume attempts "
+          f"(final incarnation from block {result.resumed_from}), "
+          f"{int(result.data_bytes_sent)} data bytes on the wire")
     if result.leaks:
         print("LEAKS:")
         for leak in result.leaks:
@@ -266,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")
-    p.add_argument("which", choices=("credits", "qp", "iodepth", "recovery"))
+    p.add_argument("which", choices=("credits", "qp", "iodepth", "recovery", "resume"))
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser(
@@ -285,6 +311,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--link-flap", action="append", default=[],
                    metavar="START:DURATION",
                    help="schedule a link outage (seconds); repeatable")
+    p.add_argument("--payload-corrupt-rate", type=float, default=0.0,
+                   help="probability an RDMA WRITE lands silently corrupted")
+    p.add_argument("--sink-crash", action="append", default=[], metavar="T",
+                   help="crash the sink process at sim-time T; repeatable")
+    p.add_argument("--source-crash", action="append", default=[], metavar="T",
+                   help="crash the source process at sim-time T; repeatable")
+    p.add_argument("--qp-kill", action="append", default=[], metavar="T:INDEX",
+                   help="kill data channel INDEX at sim-time T; repeatable")
+    p.add_argument("--resume-attempts", type=int, default=0,
+                   help="SESSION_RESUME retries after a typed abort")
+    p.add_argument("--resume-backoff", type=float, default=1.0,
+                   help="seconds to wait before each resume attempt")
+    p.add_argument("--no-repair", action="store_true",
+                   help="ablation: disable checksum-NACK block repair")
     p.add_argument("--horizon", type=float, default=300.0,
                    help="sim-time bound for hang detection")
     p.set_defaults(func=_cmd_chaos)

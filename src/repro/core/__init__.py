@@ -24,6 +24,9 @@ from repro.core.credits import Credit, CreditGranter, CreditLedger
 from repro.core.errors import (
     AckTimeout,
     CreditStarvation,
+    DataChannelsLost,
+    EndpointCrashed,
+    MarkerTimeout,
     NegotiationTimeout,
     ResendLimitExceeded,
     StaleSessionReclaimed,
@@ -35,6 +38,7 @@ from repro.core.messages import (
     CtrlType,
     CTRL_MSG_BYTES,
     HEADER_BYTES,
+    block_checksum,
 )
 from repro.core.middleware import RdmaMiddleware, TransferOutcome
 from repro.core.pool import BlockPool
@@ -52,6 +56,9 @@ __all__ = [
     "CreditLedger",
     "CreditStarvation",
     "CtrlType",
+    "DataChannelsLost",
+    "EndpointCrashed",
+    "MarkerTimeout",
     "NegotiationTimeout",
     "ResendLimitExceeded",
     "StaleSessionReclaimed",
@@ -67,4 +74,5 @@ __all__ = [
     "SourceLink",
     "TransferJob",
     "TransferOutcome",
+    "block_checksum",
 ]

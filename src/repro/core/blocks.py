@@ -45,6 +45,9 @@ class SourceBlockState(enum.Enum):
     LOADED = "loaded"
     SENDING = "start_sending"
     WAITING = "waiting"
+    #: The sink reported a checksum mismatch for the landed copy; the
+    #: block's local copy is still valid and will be re-sent.
+    NACKED = "nacked"
 
 
 class SinkBlockState(enum.Enum):
@@ -107,6 +110,17 @@ class SourceBlock:
         self._expect(SourceBlockState.WAITING)
         self.state = SourceBlockState.LOADED
 
+    def nacked(self) -> None:
+        """WAITING → NACKED (sink reported a checksum mismatch)."""
+        self._expect(SourceBlockState.WAITING)
+        self.state = SourceBlockState.NACKED
+
+    def reload(self) -> None:
+        """NACKED → LOADED (the still-valid local copy re-enters the send
+        path — the Fig. 6 extension for selective block repair)."""
+        self._expect(SourceBlockState.NACKED)
+        self.state = SourceBlockState.LOADED
+
     def scrap(self) -> None:
         """any non-FREE → FREE (session aborted; contents abandoned).
 
@@ -118,6 +132,7 @@ class SourceBlock:
             SourceBlockState.LOADED,
             SourceBlockState.SENDING,
             SourceBlockState.WAITING,
+            SourceBlockState.NACKED,
         )
         self.header = None
         self.payload = None

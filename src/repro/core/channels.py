@@ -12,6 +12,8 @@ from typing import TYPE_CHECKING, Generator, List, Optional
 
 from repro.core.messages import ControlMessage, CTRL_MSG_BYTES, DataBlockWire
 from repro.verbs.cq import CompletionChannel
+from repro.verbs.errors import QpStateError
+from repro.verbs.qp import QpState
 from repro.verbs.wr import Opcode, RecvWR, SendWR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -21,7 +23,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.cpu import CpuThread
     from repro.verbs.qp import QueuePair
 
-__all__ = ["ControlChannel", "DataChannels"]
+__all__ = ["ControlChannel", "DataChannels", "NoLiveChannelError"]
+
+
+class NoLiveChannelError(RuntimeError):
+    """Every data QP is in ERROR state; nothing can carry a WRITE.
+
+    Callers translate this into the typed
+    :class:`~repro.core.errors.DataChannelsLost` session abort."""
 
 
 class ControlChannel:
@@ -113,20 +122,58 @@ class DataChannels:
         self.profile = qps[0].device.arch_profile
         self._rr = 0
         self.blocks_posted = 0
+        #: QPs removed from the rotation after entering ERROR (failover).
+        self.dead: List["QueuePair"] = []
+        self.detached = 0
 
     def __len__(self) -> int:
         return len(self.qps)
 
+    @property
+    def alive_count(self) -> int:
+        """Channels still able to carry WRITEs."""
+        return sum(1 for qp in self.qps if qp.state is QpState.RTS)
+
+    def detach(self, qp_num: int) -> Optional["QueuePair"]:
+        """Drop a dead QP from the send rotation (failover bookkeeping).
+
+        Only a QP that has actually left RTS is detached — a WR_FLUSH_ERR
+        completion always implies that, but the guard keeps a stale or
+        duplicate flush from evicting a healthy channel.  Returns the
+        detached QP, or ``None`` if nothing was removed.
+        """
+        for i, qp in enumerate(self.qps):
+            if qp.qp_num != qp_num:
+                continue
+            if qp.state is QpState.RTS:
+                return None
+            del self.qps[i]
+            self.dead.append(qp)
+            self.detached += 1
+            self.engine.trace("data", "detach", qp=qp_num, alive=self.alive_count)
+            return qp
+        return None
+
+    def adopt(self, qp: "QueuePair") -> None:
+        """Add a (re-established) QP to the send rotation."""
+        self.qps.append(qp)
+        self.engine.trace("data", "adopt", qp=qp.qp_num, alive=self.alive_count)
+
     def _pick(self) -> "QueuePair":
-        """Least-loaded QP, round-robin tie-break."""
+        """Least-loaded live QP, round-robin tie-break.
+
+        Raises :class:`NoLiveChannelError` when every QP is dead."""
         best: Optional["QueuePair"] = None
         n = len(self.qps)
         for i in range(n):
             qp = self.qps[(self._rr + i) % n]
+            if qp.state is not QpState.RTS:
+                continue
             if best is None or qp.send_outstanding < best.send_outstanding:
                 best = qp
         self._rr = (self._rr + 1) % n
-        assert best is not None
+        if best is None:
+            raise NoLiveChannelError("all data QPs are in ERROR state")
         return best
 
     def post_write(
@@ -142,23 +189,36 @@ class DataChannels:
         ``wr_id`` defaults to the header's sequence number; multi-session
         links pass a link-unique id so completions route unambiguously.
         """
-        qp = self._pick()
-        while qp.send_room == 0:
-            yield self.engine.timeout(self._BACKOFF)
-        yield thread.exec(self.profile.post_send_seconds)
-        wire = DataBlockWire(header=header, payload=block.payload, block_id=credit.block_id)
-        qp.post_send(
-            SendWR(
-                opcode=Opcode.RDMA_WRITE,
-                length=header.wire_bytes,
-                wr_id=header.seq if wr_id is None else wr_id,
-                remote_addr=credit.addr,
-                rkey=credit.rkey,
-                payload=wire,
+        while True:
+            qp = self._pick()
+            while qp.send_room == 0 and qp.state is QpState.RTS:
+                yield self.engine.timeout(self._BACKOFF)
+            yield thread.exec(self.profile.post_send_seconds)
+            wire = DataBlockWire(
+                header=header, payload=block.payload, block_id=credit.block_id
             )
-        )
+            try:
+                qp.post_send(
+                    SendWR(
+                        opcode=Opcode.RDMA_WRITE,
+                        length=header.wire_bytes,
+                        wr_id=header.seq if wr_id is None else wr_id,
+                        remote_addr=credit.addr,
+                        rkey=credit.rkey,
+                        payload=wire,
+                    )
+                )
+            except QpStateError:
+                # The chosen QP died between pick and post; fail over to a
+                # surviving channel (or let _pick raise when none remain).
+                continue
+            break
         self.blocks_posted += 1
 
     @property
     def outstanding(self) -> int:
-        return sum(qp.send_outstanding for qp in self.qps)
+        # Detached QPs still drain flush completions; count them so the
+        # chaos audit's "no stranded WRs" check covers failover too.
+        return sum(qp.send_outstanding for qp in self.qps) + sum(
+            qp.send_outstanding for qp in self.dead
+        )

@@ -55,6 +55,20 @@ class ProtocolConfig:
     session_idle_timeout: float = 5.0
     #: Sink-side garbage-collector sweep period.
     gc_interval: float = 0.5
+    #: Stamp a per-block checksum into every BlockHeader and verify it at
+    #: the sink before delivering the block (end-to-end integrity).
+    checksum_blocks: bool = True
+    #: Repair corrupt blocks via BLOCK_NACK selective re-send from the
+    #: source's still-WAITING copy.  Requires ``checksum_blocks``.  When
+    #: False a detected mismatch is counted and the block withheld, so
+    #: the session dies with a typed error instead of delivering garbage.
+    block_repair: bool = True
+    #: Sink-side restart-marker cadence: one BLOCK_MARKER (cumulative
+    #: consumed-prefix ack) per this many consumed blocks.  Markers both
+    #: release the source's repair copies and anchor SESSION_RESUME.
+    marker_interval_blocks: int = 4
+    #: Accept SESSION_RESUME_REQ re-attachments at the sink.
+    session_resume: bool = True
 
     def __post_init__(self) -> None:
         if self.block_size < 4096:
@@ -81,3 +95,7 @@ class ProtocolConfig:
             raise ValueError("max_block_resends must be >= 1")
         if self.session_idle_timeout <= 0 or self.gc_interval <= 0:
             raise ValueError("GC timings must be positive")
+        if self.block_repair and not self.checksum_blocks:
+            raise ValueError("block_repair requires checksum_blocks")
+        if self.marker_interval_blocks < 1:
+            raise ValueError("marker_interval_blocks must be >= 1")

@@ -69,6 +69,9 @@ class CreditLedger:
         #: again, so a zero balance with N concurrent jobs produces one
         #: request, not N.
         self.request_outstanding = False
+        #: Credits discarded by :meth:`flush` (stale grants to a dead
+        #: session incarnation, dropped at resume).
+        self.flushed = 0
 
     @property
     def balance(self) -> int:
@@ -99,6 +102,23 @@ class CreditLedger:
         """
         self._credits.put_many(credits)
         self.peak_balance = max(self.peak_balance, self.balance)
+
+    def flush(self) -> int:
+        """Drop every held credit; returns how many were discarded.
+
+        A resuming session must not spend credits granted to its dead
+        incarnation: the sink revoked those regions when the session was
+        reclaimed, so writing into them would clobber blocks the sink
+        considers free.  The SESSION_RESUME grant replaces the balance
+        wholesale.
+        """
+        flushed = len(self._credits.items)
+        self._credits.items.clear()
+        self.request_outstanding = False
+        self.flushed += flushed
+        if flushed:
+            self.engine.trace("credits", "flush", discarded=flushed)
+        return flushed
 
     def acquire(self):
         """Event resolving to one :class:`Credit` (FIFO wait)."""

@@ -14,6 +14,9 @@ __all__ = [
     "CreditStarvation",
     "ResendLimitExceeded",
     "StaleSessionReclaimed",
+    "EndpointCrashed",
+    "DataChannelsLost",
+    "MarkerTimeout",
 ]
 
 
@@ -50,3 +53,20 @@ class ResendLimitExceeded(TransferError):
 class StaleSessionReclaimed(TransferError):
     """The sink's garbage collector reaped a session that had been idle
     longer than ``session_idle_timeout``."""
+
+
+class EndpointCrashed(TransferError):
+    """An injected endpoint crash (source or sink process death) killed
+    the session mid-transfer.  Resumable via SESSION_RESUME."""
+
+
+class MarkerTimeout(TransferError):
+    """Repair copies sat WAITING with no restart-marker progress for the
+    whole control retry budget — the sink stopped acking (crashed, or the
+    path died) while the source's pool was pinned by the repair hold."""
+
+
+class DataChannelsLost(TransferError):
+    """Every data-channel queue pair died; with no surviving channel to
+    redistribute in-flight blocks onto, the session cannot degrade
+    further and aborts."""

@@ -11,6 +11,7 @@ the sink uses to reassemble out-of-order arrivals.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
@@ -20,6 +21,7 @@ __all__ = [
     "BlockHeader",
     "CTRL_MSG_BYTES",
     "HEADER_BYTES",
+    "block_checksum",
 ]
 
 #: Simulated wire size of one control message (Figure 7a).
@@ -42,9 +44,17 @@ class CtrlType(enum.Enum):
     MR_INFO_REQ = "mr_info_req"  # source is idle, begging for credits
     MR_INFO_REP = "mr_info_rep"  # sink grants one or more memory regions
     BLOCK_DONE = "block_done"  # block transfer completion notification
+    # Phase 2b: integrity and repair (receiver-side validation of the
+    # one-sided WRITEs; cf. GridFTP restart markers).
+    BLOCK_NACK = "block_nack"  # checksum mismatch: re-send into this credit
+    BLOCK_MARKER = "block_marker"  # restart marker: contiguous consumed prefix
     # Phase 3: teardown.
     DATASET_DONE = "dataset_done"
     DATASET_DONE_ACK = "dataset_done_ack"
+    # Session resume: re-attach a dead session to the sink's restart marker
+    # and transfer only the missing suffix.
+    SESSION_RESUME_REQ = "session_resume_req"
+    SESSION_RESUME_REP = "session_resume_rep"
 
 
 @dataclass(frozen=True)
@@ -61,14 +71,30 @@ class ControlMessage:
         return CTRL_MSG_BYTES
 
 
+def block_checksum(payload: Any) -> int:
+    """Deterministic 32-bit checksum of a simulated block payload.
+
+    Payloads are small Python objects standing in for the real block
+    bytes, so the CRC runs over their canonical ``repr`` — stable across
+    runs and processes for the tuples/None the sources produce.
+    """
+    return zlib.crc32(repr(payload).encode()) & 0xFFFFFFFF
+
+
 @dataclass(frozen=True)
 class BlockHeader:
-    """Per-block header prefixed to every user payload block."""
+    """Per-block header prefixed to every user payload block.
+
+    The checksum occupies the header's formerly-reserved word (the wire
+    size is unchanged): the source stamps it at load time, the sink
+    verifies it on BLOCK_DONE before delivering the block.
+    """
 
     session_id: int
     seq: int
     offset: int
     length: int
+    checksum: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.session_id < 2**32:
@@ -79,6 +105,8 @@ class BlockHeader:
             raise ValueError("offset must fit in 64 bits")
         if not 0 <= self.length < 2**32:
             raise ValueError("length must fit in 32 bits")
+        if not 0 <= self.checksum < 2**32:
+            raise ValueError("checksum must fit in 32 bits")
 
     @property
     def wire_bytes(self) -> int:

@@ -48,6 +48,11 @@ class TransferOutcome:
     #: Control-plane retransmissions this session needed (timeouts on
     #: negotiation / MR_INFO_REQ / DATASET_DONE).
     ctrl_retries: int = 0
+    #: BLOCK_NACK-driven selective re-sends (checksum repair).
+    repairs: int = 0
+    #: First block this incarnation actually sent (non-zero only for
+    #: resumed sessions: everything below came from a prior incarnation).
+    resumed_from: int = 0
 
     @property
     def gbps(self) -> float:
@@ -172,6 +177,9 @@ class RdmaMiddleware:
                 qp.fault_injector = getattr(
                     fault_injector, "data_qp_hook", fault_injector
                 )
+                qp.corrupt_injector = getattr(
+                    fault_injector, "data_corrupt_hook", None
+                )
                 data_qps.append(qp)
             data = DataChannels(data_qps)
             pool = BlockPool.build_source(
@@ -180,6 +188,8 @@ class RdmaMiddleware:
             link = SourceLink(self.host, ctrl, data, data_send_cq, pool, cfg)
             link._ctrl_qp = ctrl_qp  # for RNR stats in outcomes
             link._data_qps = data_qps
+            link._client_id = client_id  # for reopen_channel
+            link._fault_injector = fault_injector
             return link
 
         return self.engine.process(_open())
@@ -228,6 +238,90 @@ class RdmaMiddleware:
                 rnr_naks=sum(qp.rnr_naks.count for qp in the_link._data_qps)
                 + the_link._ctrl_qp.rnr_naks.count,
                 ctrl_retries=job.ctrl_retries,
+                repairs=job.repairs,
             )
 
         return self.engine.process(_run())
+
+    def resume(
+        self,
+        remote: "Device",
+        port: int,
+        data_source: Any,
+        total_bytes: int,
+        session_id: int,
+        config: Optional[ProtocolConfig] = None,
+        fault_injector: Any = None,
+        link: Optional[SourceLink] = None,
+    ):
+        """Process event resolving to a :class:`TransferOutcome` for a
+        *resumed* session.
+
+        ``session_id`` must be the id of a session that previously died
+        mid-transfer (on this link or a dead predecessor).  The sink is
+        asked for its restart marker and only the missing suffix is read
+        and re-sent; the stitched result at the sink is byte-exact.  Fails
+        with a typed :class:`~repro.core.errors.TransferError` when the
+        sink rejects the resume or the re-attached session aborts again.
+        """
+
+        def _run() -> Generator:
+            the_link = link
+            if the_link is None:
+                the_link = yield self.open_link(remote, port, config, fault_injector)
+            mr_reqs_before = the_link.mr_requests_sent
+            job = yield the_link.resume(data_source, total_bytes, session_id)
+            assert job.started_at is not None and job.finished_at is not None
+            return TransferOutcome(
+                session_id=session_id,
+                bytes=max(0, total_bytes - job.start_seq * job.block_size),
+                elapsed=job.finished_at - job.started_at,
+                blocks=job.blocks_to_send,
+                resends=job.resends,
+                mr_requests=the_link.mr_requests_sent - mr_reqs_before,
+                ctrl_sent=the_link.ctrl.sent,
+                ctrl_received=the_link.ctrl.received,
+                peak_credits=the_link.ledger.peak_balance,
+                rnr_naks=sum(qp.rnr_naks.count for qp in the_link._data_qps)
+                + the_link._ctrl_qp.rnr_naks.count,
+                ctrl_retries=job.ctrl_retries,
+                repairs=job.repairs,
+                resumed_from=job.start_seq,
+            )
+
+        return self.engine.process(_run())
+
+    def reopen_channel(
+        self,
+        link: SourceLink,
+        remote: "Device",
+        port: int,
+        config: Optional[ProtocolConfig] = None,
+    ):
+        """Process event re-establishing one data channel on ``link``.
+
+        After a failover shrank the rotation, this restores parallelism:
+        a fresh data QP is connected, inherits the link's fault hooks,
+        and joins the send rotation.  Resolves to the new QueuePair.
+        """
+        cfg = config or self.config
+
+        def _reopen() -> Generator:
+            qp = self.device.create_qp(
+                self.pd,
+                link.data_send_cq,
+                self.device.create_cq(),
+                max_send_wr=cfg.send_queue_depth,
+            )
+            yield self.cm.connect(
+                qp, remote, port, ("data", link._client_id, len(link._all_data_qps))
+            )
+            injector = getattr(link, "_fault_injector", None)
+            qp.fault_injector = getattr(injector, "data_qp_hook", injector)
+            qp.corrupt_injector = getattr(injector, "data_corrupt_hook", None)
+            link.data.adopt(qp)
+            link._all_data_qps.append(qp)
+            link._data_qps.append(qp)
+            return qp
+
+        return self.engine.process(_reopen())

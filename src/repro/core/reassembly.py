@@ -46,9 +46,50 @@ class ReassemblyBuffer:
     def next_seq(self, session_id: int) -> int:
         return self._next_seq.get(session_id, 0)
 
+    def set_next_seq(self, session_id: int, seq: int) -> None:
+        """Reset a session's delivery cursor (SESSION_RESUME re-attach).
+
+        Any entries parked below the new cursor belong to the dead
+        incarnation and are discarded — the resuming source re-sends the
+        whole missing suffix from the restart marker.
+        """
+        per = self._parked.get(session_id)
+        if per:
+            for stale in [s for s in per if s < seq]:
+                del per[stale]
+            if not per:
+                del self._parked[session_id]
+        self._next_seq[session_id] = seq
+
     def sessions_with_parked(self) -> List[int]:
         """Session ids that currently have parked entries."""
         return [sid for sid, per in self._parked.items() if per]
+
+    def sessions(self) -> List[int]:
+        """Session ids with any state (delivery cursor or parked entries)."""
+        return list(set(self._next_seq) | set(self._parked))
+
+    def reject_duplicate(self, header: BlockHeader, payload: Any) -> bool:
+        """If ``header`` replays a delivered or parked seq, count it and
+        return True (the caller recycles the arrival's block instead of
+        pushing it).
+
+        Engines park ``(header, block)`` tuples, so divergence checking
+        against a still-parked copy unwraps the parked object's
+        ``payload`` attribute when it has one.
+        """
+        sid = header.session_id
+        per = self._parked.get(sid, {})
+        if header.seq >= self._next_seq.get(sid, 0) and header.seq not in per:
+            return False
+        parked_payload = None
+        comparable = False
+        if header.seq in per:
+            obj = per[header.seq][1]
+            parked_payload = getattr(obj, "payload", obj)
+            comparable = True
+        self._count_duplicate(sid, payload, parked_payload, comparable)
+        return True
 
     def _count_duplicate(self, sid: int, payload: Any, parked_payload: Any,
                          comparable: bool) -> None:
@@ -91,10 +132,15 @@ class ReassemblyBuffer:
         """Close a session and hand back its stranded entries.
 
         The sink GC needs the actual (header, payload) tuples so it can
-        free the pool blocks still holding the payloads.
+        free the pool blocks still holding the payloads.  Per-session
+        bookkeeping (the parked index, the sequence cursor, and the
+        duplicate attribution map) is pruned here so a long-lived sink
+        stays bounded; the aggregate chaos-audit counters
+        (:attr:`duplicates`, :attr:`payload_conflicts`) are preserved.
         """
         per = self._parked.pop(session_id, {})
         self._next_seq.pop(session_id, None)
+        self.duplicates_by_session.pop(session_id, None)
         return [per[seq] for seq in sorted(per)]
 
     def finish_session(self, session_id: int) -> int:

@@ -27,8 +27,13 @@ from repro.core.blocks import SinkBlock, SinkBlockState
 from repro.core.channels import ControlChannel
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditGranter
-from repro.core.errors import StaleSessionReclaimed
-from repro.core.messages import BlockHeader, ControlMessage, CtrlType
+from repro.core.errors import EndpointCrashed, StaleSessionReclaimed
+from repro.core.messages import (
+    BlockHeader,
+    ControlMessage,
+    CtrlType,
+    block_checksum,
+)
 from repro.core.pool import BlockPool
 from repro.core.reassembly import ReassemblyBuffer
 from repro.sim.events import Event
@@ -84,6 +89,33 @@ class SinkEngine:
         self.stray_messages = 0
         self._consumers_started = False
         self._gc_running = False
+        # -- integrity / restart-marker / resume state --------------------------------
+        #: session id -> contiguous *written* prefix, in blocks: everything
+        #: below it has hit the application sink, so a resumed session
+        #: re-attaches here.  Recoverable from the data file itself, it
+        #: survives both GC reclaim and a sink crash.
+        self._marker_upto: Dict[int, int] = {}
+        #: session id -> seqs written above the contiguous prefix (the
+        #: small out-of-order window of the parallel writer threads).
+        self._marker_pending: Dict[int, set] = {}
+        #: session id -> last BLOCK_MARKER value sent to the source.  The
+        #: marker wire messages track the *delivered* prefix
+        #: (``ReassemblyBuffer.next_seq``): delivery implies the checksum
+        #: verified, which is all the source needs to release its repair
+        #: copies — waiting for the writer threads too would hold its pool
+        #: blocks hostage to sink disk latency.
+        self._marker_sent: Dict[int, int] = {}
+        #: session id -> marker cadence the source negotiated (bounded by
+        #: the *source* pool so repair copies can't starve its readers).
+        self._marker_interval: Dict[int, int] = {}
+        #: session id -> (marker, credits) of the last SESSION_RESUME_REP,
+        #: so a retransmitted resume request is answered idempotently.
+        self._resume_grants: Dict[int, tuple] = {}
+        self.checksum_mismatches = 0
+        self.nacks_sent = 0
+        self.markers_sent = 0
+        self.resumes = 0
+        self.crashes = 0
 
     # -- public -----------------------------------------------------------------
     def start(self) -> None:
@@ -135,6 +167,7 @@ class SinkEngine:
             )
         elif msg.type is CtrlType.SESSION_REQ:
             assert self.granter is not None, "block size not negotiated"
+            total_bytes, marker_interval = msg.data
             if msg.session_id in self._expected_bytes:
                 # Duplicate from a retransmitting source: the session (and
                 # its initial grant) already exist — accept again but grant
@@ -146,7 +179,8 @@ class SinkEngine:
                 return
             # A finished session's id may be legitimately reused.
             self._acked.pop(msg.session_id, None)
-            self._expected_bytes[msg.session_id] = msg.data
+            self._expected_bytes[msg.session_id] = total_bytes
+            self._marker_interval[msg.session_id] = marker_interval
             self._consumed_bytes[msg.session_id] = 0
             self._last_activity[msg.session_id] = self.engine.now
             self.session_done[msg.session_id] = Event(self.engine)
@@ -179,6 +213,8 @@ class SinkEngine:
                     yield from self._send_credits(thread, msg.session_id, granted)
             else:
                 self.stray_messages += 1
+        elif msg.type is CtrlType.SESSION_RESUME_REQ:
+            yield from self._on_session_resume(thread, msg)
         elif msg.type is CtrlType.DATASET_DONE:
             if msg.session_id in self._acked:
                 # The original ACK was sent (and possibly lost) after the
@@ -206,6 +242,39 @@ class SinkEngine:
         # Extract what the one-sided WRITE deposited in the region.
         wire = block.mr.take(block.mr.buffer.addr)
         payload = wire.payload if wire is not None else None
+        if self.config.checksum_blocks and header.checksum != block_checksum(payload):
+            # The transport's CRC passed but the end-to-end checksum did
+            # not: the region holds garbage.  Withhold the block — it
+            # stays WAITING on the same region — and, when repair is on,
+            # ask the source to re-send its still-WAITING copy into the
+            # same credit.  With repair off the session starves and dies
+            # with a typed abort instead of delivering corrupt data.
+            self.checksum_mismatches += 1
+            self.engine.trace(
+                "sink", "checksum_mismatch",
+                session=header.session_id, seq=header.seq,
+            )
+            if self.config.block_repair:
+                self.nacks_sent += 1
+                yield from self.ctrl.send(
+                    thread,
+                    ControlMessage(
+                        CtrlType.BLOCK_NACK,
+                        header.session_id,
+                        (header.seq, Credit.for_block(block)),
+                    ),
+                )
+            return
+        if self.reassembly.reject_duplicate(header, payload):
+            # A replay (or a resumed session re-sending data consumed
+            # beyond the restart marker): the bytes are already accounted
+            # for, so recycle the region straight away.
+            block.revoke()
+            self.pool.put_free_blk(block)
+            granted = self.granter.on_block_freed()
+            if granted:
+                yield from self._send_credits(thread, msg.session_id, granted)
+            return
         block.finish(header, payload)
         self._finished_blocks += 1
         for hdr, blk in self.reassembly.push(header, block):
@@ -213,6 +282,161 @@ class SinkEngine:
         granted = self.granter.on_block_done()
         if granted:
             yield from self._send_credits(thread, msg.session_id, granted)
+        yield from self._maybe_send_marker(thread, header.session_id)
+
+    def _on_session_resume(self, thread, msg: ControlMessage) -> Generator:
+        """SESSION_RESUME_REQ: re-attach a session at its restart marker.
+
+        The reply is ``(accepted, resume_seq, initial_credits)``.  The
+        source re-sends every block from ``resume_seq`` on; everything
+        below it is already in the application sink (possibly written by
+        a dead incarnation) and is never re-transferred.
+        """
+        sid = msg.session_id
+        total, marker_interval = msg.data
+        if not self.config.session_resume or self.pool is None or self.granter is None:
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.SESSION_RESUME_REP, sid, (False, 0, ())),
+            )
+            return
+        bs = self.pool.block_size
+        if sid in self._acked:
+            # The dataset already completed; point the source past the
+            # last block so it goes straight to DATASET_DONE (re-acked
+            # idempotently from the _acked ledger).
+            nblocks = (self._acked[sid] + bs - 1) // bs
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.SESSION_RESUME_REP, sid, (True, nblocks, ())),
+            )
+            return
+        marker = self._marker_upto.get(sid, 0)
+        stored = self._resume_grants.get(sid)
+        if (
+            stored is not None
+            and sid in self._expected_bytes
+            and stored[0] == marker
+            and self.reassembly.next_seq(sid) == marker
+            and self.reassembly.pending(sid) == 0
+            and self._consumed_bytes.get(sid, 0) == min(marker * bs, total)
+        ):
+            # Retransmitted request (the previous REP was lost or slow)
+            # and nothing has landed since: answer identically — the same
+            # regions are still WAITING for the same writes.
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(
+                    CtrlType.SESSION_RESUME_REP, sid, (True, marker, stored[1])
+                ),
+            )
+            return
+        self.resumes += 1
+        self.engine.trace("sink", "session_resume", session=sid, marker=marker)
+        if sid in self._expected_bytes:
+            # The old incarnation is still live here (source-side crash):
+            # free its un-consumed arrivals; they will be re-sent.
+            self._drop_unconsumed(sid)
+        old = self.session_done.get(sid)
+        if old is not None and not old.triggered:
+            old.fail(EndpointCrashed(sid, "superseded by session resume")).defuse()
+        self._expected_bytes[sid] = total
+        self._marker_interval[sid] = marker_interval
+        # Accounting restarts at the marker: bytes consumed beyond it may
+        # be re-delivered (overlap) and must count exactly once.
+        self._consumed_bytes[sid] = min(marker * bs, total)
+        self._dataset_done_total.pop(sid, None)
+        self._last_activity[sid] = self.engine.now
+        self.session_done[sid] = Event(self.engine)
+        self._marker_upto[sid] = marker
+        self._marker_pending.pop(sid, None)
+        self._marker_sent[sid] = marker
+        self.reassembly.set_next_seq(sid, marker)
+        if not self._consumers_started:
+            self._consumers_started = True
+            for i in range(self.config.writer_threads):
+                self.engine.process(self._consumer_thread(i))
+        if not self._gc_running:
+            self._gc_running = True
+            self.engine.process(self._gc_thread())
+        if len(self._expected_bytes) == 1:
+            # No other live session shares the pool, so every WAITING
+            # block is a stale credit of the dead incarnation (the source
+            # flushed its ledger); revoke them before granting afresh.
+            for blk in self.pool.blocks.values():
+                if blk.state is SinkBlockState.WAITING:
+                    blk.mr.take(blk.mr.buffer.addr)
+                    blk.revoke()
+                    self.pool.put_free_blk(blk)
+            self.granter.pending_request = False
+        initial = tuple(self.granter.initial_grant(self.config.initial_credits))
+        self._resume_grants[sid] = (marker, initial)
+        yield from self.ctrl.send(
+            thread,
+            ControlMessage(CtrlType.SESSION_RESUME_REP, sid, (True, marker, initial)),
+        )
+
+    def _drop_unconsumed(self, session_id: int) -> None:
+        """Free a session's parked and READY-but-unconsumed blocks."""
+        assert self.pool is not None
+        for _hdr, blk in self.reassembly.reclaim_session(session_id):
+            blk.consume()
+            self.pool.put_free_blk(blk)
+        survivors = [
+            item for item in self._ready.items if item[0].session_id != session_id
+        ]
+        for hdr, blk in self._ready.items:
+            if hdr.session_id == session_id:
+                blk.consume()
+                self.pool.put_free_blk(blk)
+        self._ready.items.clear()
+        self._ready.items.extend(survivors)
+
+    def crash(self) -> None:
+        """Kill the sink process and restart it with only persistent state.
+
+        Volatile state dies: live sessions, the reassembly buffer, parked
+        and READY blocks, outstanding credits, consumed-byte accounting.
+        What a real implementation keeps on stable storage survives: data
+        already written to the application sink, the DATASET_DONE_ACK
+        ledger, and the contiguous-written restart marker (recoverable
+        from the data file itself).  Blocks written *out of order* beyond
+        that prefix are forgotten — without a block-granular journal a
+        restarted sink cannot tell them from garbage, so a resume
+        re-writes them identically.
+        """
+        self.crashes += 1
+        self.engine.trace("sink", "crash")
+        for sid in list(self._expected_bytes):
+            done = self.session_done.get(sid)
+            if done is not None and not done.triggered:
+                done.fail(EndpointCrashed(sid, "sink process crashed")).defuse()
+        self._expected_bytes.clear()
+        self._consumed_bytes.clear()
+        self._dataset_done_total.clear()
+        self._last_activity.clear()
+        self._resume_grants.clear()
+        if self.pool is not None:
+            for sid in self.reassembly.sessions():
+                for _hdr, blk in self.reassembly.reclaim_session(sid):
+                    blk.consume()
+                    self.pool.put_free_blk(blk)
+            for _hdr, blk in self._ready.items:
+                blk.consume()
+                self.pool.put_free_blk(blk)
+            self._ready.items.clear()
+            for blk in self.pool.blocks.values():
+                if blk.state is SinkBlockState.WAITING:
+                    blk.mr.take(blk.mr.buffer.addr)
+                    blk.revoke()
+                    self.pool.put_free_blk(blk)
+            if self.granter is not None:
+                self.granter.pending_request = False
+        for sid in list(self._marker_sent):
+            # The sent cursor was in memory only; re-derive it from what
+            # is actually on disk so post-resume markers stay truthful.
+            self._marker_sent[sid] = self._marker_upto.get(sid, 0)
+        self._marker_pending.clear()
 
     def _send_credits(self, thread, session_id: int, credits: List[Credit]) -> Generator:
         yield from self.ctrl.send(
@@ -242,7 +466,56 @@ class SinkEngine:
             granted = self.granter.on_block_freed()
             if granted:
                 yield from self._send_credits(thread, header.session_id, granted)
+            self._advance_written(header.session_id, header.seq)
             yield from self._maybe_finish(thread, header.session_id)
+
+    def _advance_written(self, session_id: int, seq: int) -> None:
+        """Advance the contiguous-written prefix (the restart marker a
+        resume re-attaches to — only bytes on stable storage count)."""
+        if not (self.config.block_repair or self.config.session_resume):
+            return
+        if session_id in self._acked:
+            # A sibling writer thread finished (and retired) the session
+            # while this one was still inside data_sink.write; don't
+            # resurrect marker state for an acked dataset.
+            return
+        upto = self._marker_upto.get(session_id, 0)
+        if seq < upto:
+            return
+        pending = self._marker_pending.setdefault(session_id, set())
+        pending.add(seq)
+        while upto in pending:
+            pending.remove(upto)
+            upto += 1
+        self._marker_upto[session_id] = upto
+        if not pending:
+            self._marker_pending.pop(session_id, None)
+
+    def _maybe_send_marker(self, thread, session_id: int) -> Generator:
+        """Emit a BLOCK_MARKER every ``marker_interval`` blocks of
+        *delivered* progress (``ReassemblyBuffer.next_seq``).
+
+        Markers are cumulative acks: everything below one passed its
+        checksum, so the source releases the repair copies it holds for
+        possible BLOCK_NACK re-send.  Cadence follows delivery, not the
+        writer threads — a repair copy pinned until fsync would starve
+        the source pool for nothing.
+        """
+        if not (self.config.block_repair or self.config.session_resume):
+            return
+        if session_id not in self._expected_bytes:
+            return
+        delivered = self.reassembly.next_seq(session_id)
+        interval = self._marker_interval.get(
+            session_id, self.config.marker_interval_blocks
+        )
+        if delivered - self._marker_sent.get(session_id, 0) < interval:
+            return
+        self._marker_sent[session_id] = delivered
+        self.markers_sent += 1
+        yield from self.ctrl.send(
+            thread, ControlMessage(CtrlType.BLOCK_MARKER, session_id, delivered)
+        )
 
     def _maybe_finish(self, thread, session_id: int) -> Generator:
         total = self._dataset_done_total.get(session_id)
@@ -262,6 +535,11 @@ class SinkEngine:
             self._expected_bytes.pop(session_id, None)
             self._dataset_done_total.pop(session_id, None)
             self._last_activity.pop(session_id, None)
+            self._marker_upto.pop(session_id, None)
+            self._marker_pending.pop(session_id, None)
+            self._marker_sent.pop(session_id, None)
+            self._marker_interval.pop(session_id, None)
+            self._resume_grants.pop(session_id, None)
             self.reassembly.reclaim_session(session_id)  # drops the seq cursor
             yield from self.ctrl.send(
                 thread,
@@ -287,23 +565,17 @@ class SinkEngine:
         assert self.pool is not None
         self.sessions_reclaimed += 1
         self.engine.trace("sink", "gc_reclaim", session=session_id)
-        # Parked out-of-order arrivals hold READY blocks with payload.
-        for _hdr, blk in self.reassembly.reclaim_session(session_id):
-            blk.consume()
-            self.pool.put_free_blk(blk)
-        # In-order deliveries the consumers have not picked up yet.
-        survivors = [
-            item for item in self._ready.items if item[0].session_id != session_id
-        ]
-        for hdr, blk in self._ready.items:
-            if hdr.session_id == session_id:
-                blk.consume()
-                self.pool.put_free_blk(blk)
-        self._ready.items.clear()
-        self._ready.items.extend(survivors)
+        # Parked out-of-order arrivals and undelivered in-order blocks
+        # both hold pool blocks with payload.
+        self._drop_unconsumed(session_id)
         self._expected_bytes.pop(session_id, None)
         self._dataset_done_total.pop(session_id, None)
         self._last_activity.pop(session_id, None)
+        # Keep _marker_upto/_marker_sent: they anchor a later
+        # SESSION_RESUME.  The out-of-order window and any stored resume
+        # grant die with the incarnation (its credits are revoked below).
+        self._marker_pending.pop(session_id, None)
+        self._resume_grants.pop(session_id, None)
         done = self.session_done.get(session_id)
         if done is not None and not done.triggered:
             # Defused: reclamation is the handling — whoever polls the

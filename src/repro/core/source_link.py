@@ -35,21 +35,31 @@ import itertools
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Tuple
 
 from repro.core.blocks import SourceBlock
-from repro.core.channels import ControlChannel, DataChannels
+from repro.core.channels import ControlChannel, DataChannels, NoLiveChannelError
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditLedger
 from repro.core.errors import (
     AckTimeout,
     CreditStarvation,
+    DataChannelsLost,
+    EndpointCrashed,
+    MarkerTimeout,
     NegotiationTimeout,
     ResendLimitExceeded,
     TransferError,
 )
-from repro.core.messages import BlockHeader, ControlMessage, CtrlType
+from repro.core.messages import (
+    BlockHeader,
+    ControlMessage,
+    CtrlType,
+    block_checksum,
+)
 from repro.core.pool import BlockPool
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Store
 from repro.verbs.cq import CompletionChannel, CompletionQueue
+from repro.verbs.qp import QpState
+from repro.verbs.wr import WcStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.host import Host
@@ -61,6 +71,7 @@ _REPLY_TYPES = (
     CtrlType.BLOCK_SIZE_REP,
     CtrlType.CHANNELS_REP,
     CtrlType.SESSION_REP,
+    CtrlType.SESSION_RESUME_REP,
     CtrlType.DATASET_DONE_ACK,
 )
 
@@ -83,8 +94,24 @@ class TransferJob:
         self.data_source = data_source
         self.block_size = link.config.block_size
         self.total_blocks = -(-total_bytes // self.block_size)
+        #: First block this incarnation sends.  0 for a fresh session; a
+        #: resumed session starts at the sink's restart marker and never
+        #: re-reads (or re-sends) the prefix below it.
+        self.start_seq = 0
         self.completed_blocks = 0
         self.resends = 0
+        #: seq -> completed block held WAITING as a repair copy until a
+        #: restart marker (cumulative consumed-prefix ack) or the
+        #: DATASET_DONE_ACK covers it.  Only populated when
+        #: ``config.block_repair``; a seq whose repair re-send is in
+        #: flight is temporarily absent (ownership sits in _inflight).
+        self.unacked: Dict[int, SourceBlock] = {}
+        #: Highest cumulative restart marker received from the sink.
+        self.marker = 0
+        #: seq -> BLOCK_NACK repair attempts (bounded by max_block_resends).
+        self.nack_attempts: Dict[int, int] = {}
+        #: NACK-driven selective re-sends performed.
+        self.repairs = 0
         #: Control-plane retransmissions (timed-out requests resent).
         self.ctrl_retries = 0
         #: Per-block source-side latency: post of the RDMA WRITE to the
@@ -106,6 +133,11 @@ class TransferJob:
         self.error: Optional[TransferError] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+
+    @property
+    def blocks_to_send(self) -> int:
+        """Blocks this incarnation owes the sink."""
+        return self.total_blocks - self.start_seq
 
     def _block_extent(self, seq: int) -> Tuple[int, int]:
         offset = seq * self.block_size
@@ -141,10 +173,16 @@ class SourceLink:
         #: fatal: with retries in play they are expected traffic.
         self.stray_messages = 0
         self._wr_ids = itertools.count()
-        #: wr_id -> (job, block, credit, failed_attempts).
-        self._inflight: Dict[int, Tuple[TransferJob, SourceBlock, Credit, int]] = {}
+        #: wr_id -> (job, block, credit, failed_attempts, is_repair).
+        self._inflight: Dict[
+            int, Tuple[TransferJob, SourceBlock, Credit, int, bool]
+        ] = {}
         self._active_jobs = 0
         self._started = False
+        #: Data QPs in creation order, for fault injection by index — the
+        #: live rotation in ``self.data`` shrinks as channels die.
+        self._all_data_qps = list(data.qps)
+        self.crashes = 0
 
     # -- public API --------------------------------------------------------------
     def transfer(self, data_source: Any, total_bytes: int, session_id: int):
@@ -172,10 +210,113 @@ class SourceLink:
                 for i in range(self.config.reader_threads):
                     self.engine.process(self._reader_thread(job, i))
                 self.engine.process(self._sender_thread(job))
+                if self.config.block_repair:
+                    self.engine.process(self._marker_watchdog(job))
             finished: TransferJob = yield job.done
             return finished
 
         return self.engine.process(_run())
+
+    def resume(self, data_source: Any, total_bytes: int, session_id: int):
+        """Process event re-attaching a dead session at its restart marker.
+
+        One SESSION_RESUME_REQ round trip replaces the full negotiation
+        (block size and channel count are link-level and already agreed).
+        The sink replies with the resume point — the contiguous prefix it
+        has durably consumed — and a fresh credit grant; this incarnation
+        reads and sends only the missing suffix.  Like :meth:`transfer`,
+        the returned process fails with a typed :class:`TransferError`
+        when the resume is rejected or the re-attached session aborts.
+
+        Resume assumes no *other* session is concurrently healthy on the
+        link: accepting the REP flushes the shared credit ledger (stale
+        grants from the dead incarnation target regions the sink has
+        revoked), which would strand a healthy neighbour's credits.
+        """
+        job = TransferJob(self, session_id, total_bytes, data_source)
+        if session_id in self.jobs:
+            raise ValueError(f"session {session_id} already active on this link")
+        self.jobs[session_id] = job
+        self._active_jobs += 1
+        if not self._started:
+            self._started = True
+            self.engine.process(self._control_thread())
+            self.engine.process(self._completion_thread())
+
+        def _run() -> Generator:
+            thread = self.host.thread(f"src-resume-{session_id}", "app")
+            reply = yield from self._request_reply(
+                thread, job,
+                CtrlType.SESSION_RESUME_REQ,
+                (job.total_bytes, self._marker_interval()),
+                CtrlType.SESSION_RESUME_REP,
+            )
+            if reply is not None:
+                accepted, resume_seq, _initial = reply.data
+                if not accepted:
+                    self._abort_job(
+                        job,
+                        NegotiationTimeout(session_id, "sink rejected session resume"),
+                    )
+                elif not job.aborted:
+                    job.start_seq = min(resume_seq, job.total_blocks)
+                    job.marker = job.start_seq
+                    job._next_load_seq = job.start_seq
+                    job.started_at = self.engine.now
+                    self.engine.trace(
+                        "link", "resume",
+                        session=session_id, start_seq=job.start_seq,
+                    )
+                    if job.blocks_to_send == 0:
+                        # Everything already landed (the sink holds the
+                        # whole dataset, acked or not): go straight to the
+                        # completion handshake.
+                        yield from self.ctrl.send(
+                            thread,
+                            ControlMessage(
+                                CtrlType.DATASET_DONE, session_id, job.total_bytes
+                            ),
+                        )
+                        self.engine.process(self._ack_watchdog(job))
+                    else:
+                        for i in range(self.config.reader_threads):
+                            self.engine.process(self._reader_thread(job, i))
+                        self.engine.process(self._sender_thread(job))
+                        if self.config.block_repair:
+                            self.engine.process(self._marker_watchdog(job))
+            finished: TransferJob = yield job.done
+            return finished
+
+        return self.engine.process(_run())
+
+    def crash(self) -> None:
+        """Kill the source process: every live job dies with
+        :class:`EndpointCrashed` and all volatile state (loaded blocks,
+        repair copies, the credit ledger) is lost.  The sink's restart
+        markers make the sessions resumable afterwards."""
+        self.crashes += 1
+        self.engine.trace("link", "crash")
+        for job in list(self.jobs.values()):
+            self._abort_job(
+                job, EndpointCrashed(job.session_id, "source process crashed")
+            )
+        self.ledger.flush()
+
+    def kill_channel(self, index: int) -> bool:
+        """Kill the ``index``-th data QP (injected channel failure).
+
+        In-flight WRITEs on it flush with WR_FLUSH_ERR; the completion
+        thread detaches the dead channel and redistributes the blocks
+        across survivors.  Returns False for an unknown or already-dead
+        channel."""
+        if not 0 <= index < len(self._all_data_qps):
+            return False
+        qp = self._all_data_qps[index]
+        if qp.state is QpState.ERROR:
+            return False
+        qp.kill()
+        self.engine.trace("link", "kill_channel", qp=qp.qp_num, index=index)
+        return True
 
     # -- abort / cleanup -------------------------------------------------------------
     def _abort_job(self, job: TransferJob, exc: TransferError) -> None:
@@ -198,6 +339,14 @@ class SourceLink:
                 continue  # sender-release sentinel
             blk.scrap()
             self.pool.put_free_blk(blk)
+        # Repair copies held WAITING for markers that will never come.
+        # Seqs whose repair re-send is in flight are not in the map — the
+        # completion thread recycles those.
+        while job.unacked:
+            _seq, blk = job.unacked.popitem()
+            blk.scrap()
+            self.pool.put_free_blk(blk)
+        job.nack_attempts.clear()
         self.engine.trace(
             "link", "abort", session=job.session_id, error=type(exc).__name__
         )
@@ -256,6 +405,21 @@ class SourceLink:
         )
         return None
 
+    def _marker_interval(self) -> int:
+        """Restart-marker cadence this source can afford.
+
+        Repair copies stay WAITING until a marker covers them, so up to
+        ``2 * interval`` blocks sit outside the free pool at any instant
+        (one interval delivered-but-unmarked, one in the marker's flight
+        time).  That hold must stay a small fraction of the pool or the
+        readers run stop-and-wait on the remainder — an 8-block pool at
+        interval 4 measurably halves goodput.  The source advertises a
+        cadence of at most an eighth of its pool during session setup and
+        the sink honours it per session; tiny pools degrade to per-block
+        markers rather than deadlock.
+        """
+        return max(1, min(self.config.marker_interval_blocks, len(self.pool.blocks) // 8))
+
     # -- negotiation (phase 1 of §IV-C) ---------------------------------------------
     def _negotiate(self, thread, job: TransferJob) -> Generator:
         sid = job.session_id
@@ -281,7 +445,8 @@ class SourceLink:
             self._abort_job(job, NegotiationTimeout(sid, "sink rejected channel count"))
             return
         reply = yield from self._request_reply(
-            thread, job, CtrlType.SESSION_REQ, job.total_bytes,
+            thread, job,
+            CtrlType.SESSION_REQ, (job.total_bytes, self._marker_interval()),
             CtrlType.SESSION_REP,
         )
         if reply is None:
@@ -315,7 +480,12 @@ class SourceLink:
             if job.aborted:
                 self._recycle(block)
                 return
-            header = BlockHeader(job.session_id, seq, offset, length)
+            header = BlockHeader(
+                job.session_id, seq, offset, length,
+                checksum=(
+                    block_checksum(payload) if self.config.checksum_blocks else 0
+                ),
+            )
             block.loaded(header, payload)
             yield job._loaded.put(block)
         return
@@ -398,12 +568,32 @@ class SourceLink:
             assert block.header is not None
             block.sending()
             wr_id = next(self._wr_ids)
-            self._inflight[wr_id] = (job, block, credit, 0)
+            self._inflight[wr_id] = (job, block, credit, 0, False)
             job._post_times[wr_id] = self.engine.now
+            ok = yield from self._post_block(thread, job, block, credit, wr_id)
+            if not ok:
+                return
+
+    def _post_block(self, thread, job: TransferJob, block: SourceBlock,
+                    credit: Credit, wr_id: int) -> Generator:
+        """Post one WRITE; fail the job with :class:`DataChannelsLost`
+        when no data channel survives.  Returns False after such an abort
+        (the block and credit have been reclaimed)."""
+        assert block.header is not None
+        try:
             yield from self.data.post_write(
                 thread, block, credit, block.header, wr_id=wr_id
             )
-            block.waiting()
+        except NoLiveChannelError:
+            self._inflight.pop(wr_id, None)
+            job._post_times.pop(wr_id, None)
+            self._recycle(block, credit)
+            self._abort_job(
+                job, DataChannelsLost(job.session_id, "every data channel is dead")
+            )
+            return False
+        block.waiting()
+        return True
 
     # -- shared threads -------------------------------------------------------------
     def _completion_thread(self) -> Generator:
@@ -412,8 +602,13 @@ class SourceLink:
             yield self.data_cc.wait(thread)
             wcs = yield self.data_send_cq.poll(thread, max_entries=64)
             for wc in wcs:
-                job, block, credit, attempts = self._inflight.pop(wc.wr_id)
+                job, block, credit, attempts, is_repair = self._inflight.pop(wc.wr_id)
                 posted_at = job._post_times.pop(wc.wr_id, None)
+                if not wc.ok and wc.status is WcStatus.WR_FLUSH_ERR:
+                    # A dead channel flushed this WR: detach it so the
+                    # rotation shrinks to the survivors (idempotent — the
+                    # first flushed WR wins, later ones find it gone).
+                    self.data.detach(wc.qp_num)
                 if job.aborted:
                     # The session died while this WRITE was in flight; the
                     # completion thread holds the last live reference.
@@ -422,6 +617,7 @@ class SourceLink:
                 if posted_at is not None and wc.ok:
                     job.block_latencies.append(self.engine.now - posted_at)
                 if wc.ok:
+                    assert block.header is not None
                     yield from self.ctrl.send(
                         thread,
                         ControlMessage(
@@ -430,10 +626,18 @@ class SourceLink:
                             (credit.block_id, block.header),
                         ),
                     )
-                    block.release()
-                    self.pool.put_free_blk(block)
+                    if self.config.block_repair:
+                        # Keep the copy WAITING until a restart marker (or
+                        # the final ACK) covers it — a BLOCK_NACK re-sends
+                        # from exactly this copy.
+                        job.unacked[block.header.seq] = block
+                    else:
+                        block.release()
+                        self.pool.put_free_blk(block)
+                    if is_repair:
+                        continue  # counted when it first completed
                     job.completed_blocks += 1
-                    if job.completed_blocks == job.total_blocks:
+                    if job.completed_blocks == job.blocks_to_send:
                         yield job._loaded.put(None)  # release the sender
                         yield from self.ctrl.send(
                             thread,
@@ -452,7 +656,8 @@ class SourceLink:
                     # let fresh blocks steal it and, with a fully
                     # advertised sink pool, leave the retransmission
                     # unable to ever acquire a region (head-of-line
-                    # deadlock).
+                    # deadlock).  After a channel death the re-post lands
+                    # on a surviving QP (least-loaded pick skips ERROR).
                     attempts += 1
                     if attempts > self.config.max_block_resends:
                         seq = block.header.seq if block.header else -1
@@ -469,13 +674,9 @@ class SourceLink:
                     block.resend()
                     block.sending()
                     wr_id = next(self._wr_ids)
-                    self._inflight[wr_id] = (job, block, credit, attempts)
+                    self._inflight[wr_id] = (job, block, credit, attempts, is_repair)
                     job._post_times[wr_id] = self.engine.now
-                    assert block.header is not None
-                    yield from self.data.post_write(
-                        thread, block, credit, block.header, wr_id=wr_id
-                    )
-                    block.waiting()
+                    yield from self._post_block(thread, job, block, credit, wr_id)
 
     def _ack_watchdog(self, job: TransferJob) -> Generator:
         """Retransmit DATASET_DONE until the ACK lands, then give up with
@@ -502,6 +703,47 @@ class SourceLink:
             ),
         )
 
+    def _marker_watchdog(self, job: TransferJob) -> Generator:
+        """Liveness guard for the repair hold.
+
+        Repair copies leave the free pool until a restart marker covers
+        them, so a sink that stops acking (crashed, or the path died)
+        would starve the readers *silently*: the sender idles on an empty
+        loaded-queue and the credit watchdog never runs.  Abort with a
+        typed :class:`MarkerTimeout` once copies have sat with zero
+        release/repair progress for the whole control retry budget — the
+        session becomes resumable instead of hung.
+        """
+        timeout = self.config.ctrl_timeout
+        attempts = 0
+        while not job.aborted and not job.done.triggered:
+            signature = (
+                job.marker, len(job.unacked), job.repairs, job.completed_blocks
+            )
+            timer = self.engine.timeout(timeout)
+            yield AnyOf(self.engine, [timer, job._abort])
+            if job.aborted or job.done.triggered:
+                return
+            progressed = signature != (
+                job.marker, len(job.unacked), job.repairs, job.completed_blocks
+            )
+            if not job.unacked or progressed:
+                attempts = 0
+                timeout = self.config.ctrl_timeout
+                continue
+            attempts += 1
+            if attempts > self.config.ctrl_retries:
+                self._abort_job(
+                    job,
+                    MarkerTimeout(
+                        job.session_id,
+                        f"{len(job.unacked)} repair copies held with no"
+                        f" restart-marker progress after {attempts} timeouts",
+                    ),
+                )
+                return
+            timeout *= self.config.ctrl_backoff
+
     def _control_thread(self) -> Generator:
         thread = self.host.thread("src-ctrl", "app")
         while True:
@@ -521,21 +763,93 @@ class SourceLink:
                     _accepted, initial = msg.data
                     if initial:
                         self.ledger.deposit(list(initial))
+                if msg.type is CtrlType.SESSION_RESUME_REP:
+                    accepted, _resume_seq, initial = msg.data
+                    if accepted:
+                        # Stale grants in the ledger belong to the dead
+                        # incarnation and target regions the sink revoked
+                        # at re-attach.  Control-QP FIFO ordering means
+                        # any in-flight stale MR_INFO_REP was delivered
+                        # before this REP, so flushing here is airtight;
+                        # the sink re-grants from a clean pool on every
+                        # non-idempotent resume, so a duplicate REP's
+                        # flush-then-deposit is also safe.
+                        self.ledger.flush()
+                        if initial:
+                            self.ledger.deposit(list(initial))
                 job = self.jobs.get(msg.session_id)
                 if job is None:
-                    # Finished or aborted session: stale replies and
-                    # duplicate ACKs are expected under retransmission.
+                    # Finished or aborted session: stale replies, markers
+                    # and duplicate ACKs are expected under retransmission.
                     self.stray_messages += 1
                     continue
                 if msg.type is CtrlType.DATASET_DONE_ACK:
                     job.finished_at = self.engine.now
                     self._active_jobs -= 1
+                    # The final cumulative ack: every repair copy is covered.
+                    for seq in list(job.unacked):
+                        blk = job.unacked.pop(seq)
+                        blk.release()
+                        self.pool.put_free_blk(blk)
+                    job.nack_attempts.clear()
                     # Completed sessions leave the table so the session id
                     # can be reused and the dict stays bounded on
                     # long-lived links.
                     self.jobs.pop(msg.session_id, None)
                     job.done.succeed(job)
+                elif msg.type is CtrlType.BLOCK_MARKER:
+                    self._apply_marker(job, msg.data)
+                elif msg.type is CtrlType.BLOCK_NACK:
+                    yield from self._on_block_nack(thread, job, msg)
                 elif msg.type in job._replies:
                     yield job._replies[msg.type].put(msg)
                 else:
                     self.stray_messages += 1
+
+    def _apply_marker(self, job: TransferJob, upto: int) -> None:
+        """A cumulative consumed-prefix ack: everything below ``upto`` is
+        durably in the application sink, so the repair copies held for
+        those seqs can finally be freed."""
+        if upto <= job.marker:
+            return  # stale or duplicate marker
+        job.marker = upto
+        for seq in [s for s in job.unacked if s < upto]:
+            blk = job.unacked.pop(seq)
+            blk.release()
+            self.pool.put_free_blk(blk)
+            job.nack_attempts.pop(seq, None)
+
+    def _on_block_nack(self, thread, job: TransferJob, msg: ControlMessage) -> Generator:
+        """BLOCK_NACK: the sink's end-to-end checksum caught a corrupt
+        arrival.  Re-send from the still-WAITING local copy into the
+        credit the NACK carries (the same region), bounded by the block
+        resend budget."""
+        seq, credit = msg.data
+        block = job.unacked.pop(seq, None)
+        if block is None:
+            # A repair for this seq is already in flight (ownership sits
+            # in _inflight) — or the NACK is stale.
+            self.stray_messages += 1
+            return
+        attempts = job.nack_attempts.get(seq, 0) + 1
+        job.nack_attempts[seq] = attempts
+        if attempts > self.config.max_block_resends:
+            self._recycle(block, credit)
+            self._abort_job(
+                job,
+                ResendLimitExceeded(
+                    job.session_id, f"block seq {seq} NACKed {attempts} times"
+                ),
+            )
+            return
+        job.repairs += 1
+        self.engine.trace(
+            "link", "repair", session=job.session_id, seq=seq, attempt=attempts
+        )
+        block.nacked()  # WAITING → NACKED (Fig. 6 extension)
+        block.reload()  # NACKED → LOADED: the local copy is still valid
+        block.sending()
+        wr_id = next(self._wr_ids)
+        self._inflight[wr_id] = (job, block, credit, 0, True)
+        job._post_times[wr_id] = self.engine.now
+        yield from self._post_block(thread, job, block, credit, wr_id)

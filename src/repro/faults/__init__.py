@@ -7,7 +7,8 @@ those paths dead.  This package makes failure a first-class, reproducible
 input:
 
 - :class:`FaultPlan` — a frozen description of what to break (WC error
-  rates, control-message drop/delay, link flaps, latency spikes), seeded;
+  rates, control-message drop/delay, link flaps, latency spikes, payload
+  bit-rot, scheduled endpoint crashes and QP kills), seeded;
 - :class:`FaultInjector` — hooks the plan into the existing seams
   (``verbs.qp.fault_injector``, ``core.channels`` control hook,
   ``network.link`` flap/spike hooks) using per-seam

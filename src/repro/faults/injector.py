@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Optional, Union
 
+from repro.core.messages import DataBlockWire
 from repro.faults.plan import FaultPlan
 from repro.sim.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.messages import ControlMessage
+    from repro.core.sink_engine import SinkEngine
+    from repro.core.source_link import SourceLink
     from repro.testbeds import Testbed
     from repro.verbs.wr import SendWR
 
@@ -25,8 +29,10 @@ class FaultInjector:
 
     Wire-up: pass the injector as ``fault_injector`` to
     :meth:`RdmaMiddleware.open_link` / ``transfer`` (arms the data QPs and
-    the client control channel) and call :meth:`arm_network` on the
-    testbed (arms link flaps and latency spikes).
+    the client control channel), call :meth:`arm_network` on the testbed
+    (arms link flaps and latency spikes), and :meth:`arm_source` /
+    :meth:`arm_sink` on the endpoints (arms scheduled crashes and data-QP
+    kills).
     """
 
     def __init__(self, plan: FaultPlan) -> None:
@@ -35,11 +41,16 @@ class FaultInjector:
         self._data_rng = streams.stream("data")
         self._ctrl_rng = streams.stream("ctrl")
         self._link_rng = streams.stream("link")
+        self._corrupt_rng = streams.stream("corrupt")
         self.write_faults = 0
         self.ctrl_drops = 0
         self.ctrl_delays = 0
         self.latency_spikes = 0
         self.flaps_fired = 0
+        self.payload_corruptions = 0
+        self.source_crashes_fired = 0
+        self.sink_crashes_fired = 0
+        self.qp_kills_fired = 0
 
     # -- verbs.qp seam ---------------------------------------------------------------
     def data_qp_hook(self, wr: "SendWR") -> bool:
@@ -51,6 +62,21 @@ class FaultInjector:
             self.write_faults += 1
             return True
         return False
+
+    def data_corrupt_hook(self, wr: "SendWR") -> Optional[Any]:
+        """``qp.corrupt_injector`` interface: return a tampered payload to
+        land at the target instead of the WR's own, or None for clean
+        delivery.  The WR still completes OK — the transport CRC passed —
+        so only the end-to-end block checksum can detect the damage."""
+        if self.plan.payload_corrupt_rate <= 0.0:
+            return None
+        wire = wr.payload
+        if not isinstance(wire, DataBlockWire):
+            return None
+        if self._corrupt_rng.random() < self.plan.payload_corrupt_rate:
+            self.payload_corruptions += 1
+            return replace(wire, payload=("bitrot", wire.payload))
+        return None
 
     # -- core.channels seam ------------------------------------------------------------
     def ctrl_hook(self, msg: "ControlMessage") -> Union[None, str, float]:
@@ -100,3 +126,37 @@ class FaultInjector:
                     link.fail_for(duration)
 
             engine.process(_flap())
+
+    # -- endpoint seams ----------------------------------------------------------------
+    def arm_source(self, link: "SourceLink") -> None:
+        """Schedule the plan's source crashes and data-QP kills on one
+        client link."""
+        engine = link.engine
+        for when in self.plan.source_crashes:
+
+            def _crash(when=when):
+                yield engine.timeout(when)
+                self.source_crashes_fired += 1
+                link.crash()
+
+            engine.process(_crash())
+        for when, index in self.plan.qp_kills:
+
+            def _kill(when=when, index=index):
+                yield engine.timeout(when)
+                self.qp_kills_fired += 1
+                link.kill_channel(index)
+
+            engine.process(_kill())
+
+    def arm_sink(self, sink_engine: "SinkEngine") -> None:
+        """Schedule the plan's sink-process crashes."""
+        engine = sink_engine.engine
+        for when in self.plan.sink_crashes:
+
+            def _crash(when=when):
+                yield engine.timeout(when)
+                self.sink_crashes_fired += 1
+                sink_engine.crash()
+
+            engine.process(_crash())

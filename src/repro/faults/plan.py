@@ -9,10 +9,12 @@ from repro.core.messages import CtrlType
 
 __all__ = ["FaultPlan", "DEFAULT_DROPPABLE"]
 
-#: Control messages that are safe to lose: every one of these is a
-#: *request the source retransmits* under its timeout/backoff budget.
-#: BLOCK_DONE and the sink→source replies are deliberately excluded —
-#: they are sent exactly once per event, so losing one strands sink state
+#: Control messages that are safe to lose: every one of these is either
+#: a *request the source retransmits* under its timeout/backoff budget,
+#: or (DATASET_DONE_ACK) a reply whose request is retransmitted and
+#: re-answered idempotently from the sink's ack ledger.  BLOCK_DONE and
+#: the remaining sink→source replies are deliberately excluded — they
+#: are sent exactly once per event, so losing one strands sink state
 #: the protocol has no retransmission for (the session-idle GC would
 #: eventually reap it, but that turns a droppable-message test into a
 #: GC test).
@@ -22,6 +24,7 @@ DEFAULT_DROPPABLE: Tuple[CtrlType, ...] = (
     CtrlType.SESSION_REQ,
     CtrlType.MR_INFO_REQ,
     CtrlType.DATASET_DONE,
+    CtrlType.DATASET_DONE_ACK,
 )
 
 
@@ -55,6 +58,23 @@ class FaultPlan:
     latency_spike_rate: float = 0.0
     #: The injected serialisation delay, seconds.
     latency_spike_seconds: float = 0.01
+    #: Probability an RDMA WRITE lands with its payload silently
+    #: tampered: the transport CRC passes, the WR completes OK, and only
+    #: the end-to-end block checksum can catch it (exercises the
+    #: BLOCK_NACK repair path; with repair off, a typed abort).
+    payload_corrupt_rate: float = 0.0
+    #: Scheduled sink-process crashes, seconds: volatile sink state dies,
+    #: the written prefix / ack ledger survive (exercises SESSION_RESUME
+    #: against a restarted receiver).
+    sink_crashes: Tuple[float, ...] = ()
+    #: Scheduled source-process crashes, seconds: every live job aborts
+    #: with :class:`~repro.core.errors.EndpointCrashed` and outstanding
+    #: credits are flushed (a new incarnation may then resume).
+    source_crashes: Tuple[float, ...] = ()
+    #: Scheduled data-QP kills: ``((time_s, channel_index), ...)`` — the
+    #: QP drops to ERROR mid-transfer, in-flight WRs flush, and the
+    #: session fails over onto the surviving channels.
+    qp_kills: Tuple[Tuple[float, int], ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -62,6 +82,7 @@ class FaultPlan:
             "ctrl_drop_rate",
             "ctrl_delay_rate",
             "latency_spike_rate",
+            "payload_corrupt_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -74,6 +95,16 @@ class FaultPlan:
             start, duration = flap
             if start < 0 or duration <= 0:
                 raise ValueError(f"bad link flap {flap!r}")
+        for name in ("sink_crashes", "source_crashes"):
+            for when in getattr(self, name):
+                if when < 0:
+                    raise ValueError(f"{name} entry {when!r} is before t=0")
+        for kill in self.qp_kills:
+            if len(kill) != 2:
+                raise ValueError("each qp kill is a (time, channel_index) pair")
+            when, index = kill
+            if when < 0 or index < 0 or index != int(index):
+                raise ValueError(f"bad qp kill {kill!r}")
 
     @property
     def any_faults(self) -> bool:
@@ -83,4 +114,8 @@ class FaultPlan:
             or self.ctrl_delay_rate
             or self.link_flaps
             or self.latency_spike_rate
+            or self.payload_corrupt_rate
+            or self.sink_crashes
+            or self.source_crashes
+            or self.qp_kills
         )

@@ -119,6 +119,12 @@ class QueuePair:
         #: the WR with :data:`WcStatus.SIM_FAULT` after it crosses the
         #: wire (payload is discarded; the QP survives).  Testing only.
         self.fault_injector: Optional[object] = None
+        #: Optional corruption hook ``(SendWR) -> Optional[payload]``:
+        #: return a tampered payload to place it at the target instead of
+        #: the WR's own, or None for clean delivery.  Models in-flight bit
+        #: rot below the transport's CRC (the WR still *completes*
+        #: successfully — only end-to-end checksums can catch it).
+        self.corrupt_injector: Optional[object] = None
 
     # -- wiring ------------------------------------------------------------------
     def attach(self, peer: "QueuePair", duplex: "DuplexPath") -> None:
@@ -253,6 +259,10 @@ class QueuePair:
         yield from nic.process_wqe()
         yield from nic.dma_fetch(wr.length)
         yield from self.path.transmit(wr.length)
+        if self.state is QpState.ERROR:
+            # The QP was killed while this WR was on the wire; the write
+            # never lands and the WR flushes.
+            return WcStatus.WR_FLUSH_ERR
         if self.fault_injector is not None and self.fault_injector(wr):
             yield from self.rpath.deliver_latency()  # NAK comes back
             return WcStatus.SIM_FAULT
@@ -264,7 +274,12 @@ class QueuePair:
             yield from self.rpath.deliver_latency()  # NAK
             return WcStatus.REM_ACCESS_ERR
         yield from peer.device.nic.dma_place(wr.length)
-        target.place(wr.remote_addr, wr.payload)
+        payload = wr.payload
+        if self.corrupt_injector is not None:
+            tampered = self.corrupt_injector(wr)
+            if tampered is not None:
+                payload = tampered
+        target.place(wr.remote_addr, payload)
         if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
             if not peer._recv_queue:
                 # Immediate data consumes a receive WR; RNR applies.
@@ -354,6 +369,17 @@ class QueuePair:
                     qp_num=self.qp_num,
                 )
             )
+
+    def kill(self) -> None:
+        """Force the QP into ERROR (injected channel death).
+
+        In-flight WRs flush with WR_FLUSH_ERR instead of landing, new
+        posts are rejected, and posted receives are flushed — the same
+        observable behaviour as a NIC port or cable failure on this
+        channel.  Unlike :meth:`close` the QP stays in ERROR so failover
+        logic can observe the state.
+        """
+        self._enter_error()
 
     def close(self) -> None:
         """Tear the QP down (flushes receives)."""

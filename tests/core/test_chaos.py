@@ -177,8 +177,10 @@ def test_losing_every_mr_info_req_aborts_with_starvation(seed):
 
 def test_default_droppable_excludes_unretransmitted_messages():
     """BLOCK_DONE and the sink's replies are sent exactly once — dropping
-    them tests nothing the protocol claims to survive."""
+    them tests nothing the protocol claims to survive.  DATASET_DONE_ACK
+    *is* droppable: the sink re-answers a retransmitted DATASET_DONE
+    idempotently from its ack ledger."""
     assert CtrlType.BLOCK_DONE not in DEFAULT_DROPPABLE
-    assert CtrlType.DATASET_DONE_ACK not in DEFAULT_DROPPABLE
+    assert CtrlType.DATASET_DONE_ACK in DEFAULT_DROPPABLE
     assert CtrlType.MR_INFO_REP not in DEFAULT_DROPPABLE
     assert CtrlType.SESSION_REP not in DEFAULT_DROPPABLE

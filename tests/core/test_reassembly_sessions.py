@@ -75,6 +75,24 @@ def test_reclaim_session_returns_stranded_entries_sorted():
     assert buf.next_seq(1) == 0
 
 
+def test_reclaim_session_prunes_all_per_session_state():
+    """Reclaiming must drop the duplicate counter and sequence cursor
+    too, or a server GC-ing thousands of sessions leaks dict entries
+    forever (and a reused session id inherits a stale cursor)."""
+    buf = ReassemblyBuffer()
+    buf.push(hdr(1, 0), "a")
+    buf.push(hdr(1, 0), "a")  # one duplicate attributed to session 1
+    buf.push(hdr(1, 2), "c")
+    buf.push(hdr(2, 0), "other")
+    assert buf.duplicates_by_session == {1: 1}
+    buf.reclaim_session(1)
+    assert 1 not in buf.duplicates_by_session
+    assert buf.next_seq(1) == 0
+    assert buf.sessions() == [2]
+    # The aggregate counter keeps history; only per-session state goes.
+    assert buf.duplicates == 1
+
+
 def test_finish_session_counts_discards():
     buf = ReassemblyBuffer()
     buf.push(hdr(4, 2), "x")
