@@ -6,16 +6,25 @@ plot; these helpers keep that output consistent and parseable.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = ["Table", "Series", "format_gbps", "format_pct"]
 
+# ``summarize_latencies`` returns NaN for empty samples (e.g. GridFTP
+# runs that never record per-block latency); render those cells as an
+# em-dash instead of "    nan".
+
 
 def format_gbps(value: float) -> str:
+    if value is None or math.isnan(value):
+        return "—".rjust(7)
     return f"{value:7.2f}"
 
 
 def format_pct(value: float) -> str:
+    if value is None or math.isnan(value):
+        return "—".rjust(7)
     return f"{value:6.1f}%"
 
 

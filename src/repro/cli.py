@@ -58,6 +58,22 @@ def _add_testbed_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_export_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a JSONL metrics snapshot of every engine built by "
+             "this command (one 'engine' header + one line per metric)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="attach a Tracer to every engine and write its records as JSONL",
+    )
+    parser.add_argument(
+        "--trace-categories", metavar="CAT[,CAT...]", default=None,
+        help="restrict --trace-out to these categories (default: all)",
+    )
+
+
 def _cmd_testbeds(args: argparse.Namespace) -> int:
     from repro.experiments import table1_testbeds
 
@@ -247,6 +263,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table, format_gbps
+    from repro.obs.bench import bench_filename, run_bench, write_bench
+    from repro.obs.compare import compare_files
+
+    mode = "quick" if args.quick else "full"
+
+    def progress(name: str, result: dict) -> None:
+        print(f"  {name}: done ({result['events']} events)", file=sys.stderr)
+
+    doc = run_bench(mode, only=args.only or None, progress=progress)
+    out = args.out or bench_filename(doc["date"])
+    write_bench(doc, out)
+
+    table = Table(
+        f"Benchmark ({mode} mode, {doc['date']})",
+        ["case", "Gbps", "p50 us", "p99 us", "events/s", "sim s"],
+    )
+    for name, r in doc["results"].items():
+        table.add_row(
+            name,
+            format_gbps(r["gbps"]),
+            format_gbps(r["p50_us"]),
+            format_gbps(r["p99_us"]),
+            f"{r['events_per_sec']:.0f}" if r["events_per_sec"] else "—",
+            f"{r['sim_time']:.3f}",
+        )
+    table.print()
+    print(f"\nwrote {out}")
+
+    if args.baseline:
+        cmp = compare_files(args.baseline, out, tolerance=args.tolerance)
+        print()
+        print(cmp.report())
+        return 0 if cmp.ok else 1
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.compare import compare_files
+
+    cmp = compare_files(args.baseline, args.current, tolerance=args.tolerance)
+    print(cmp.report())
+    return 0 if cmp.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ablation: disable proactive credit feedback",
     )
+    _add_export_args(p)
     p.set_defaults(func=_cmd_rftp)
 
     p = sub.add_parser("gridftp", help="run the GridFTP baseline")
@@ -277,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", default="1M")
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--cc", default=None, help="override congestion control")
+    _add_export_args(p)
     p.set_defaults(func=_cmd_gridftp)
 
     p = sub.add_parser("fio", help="run the RDMA I/O engine")
@@ -285,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", default="128K")
     p.add_argument("--iodepth", type=int, default=16)
     p.add_argument("--blocks", type=int, default=2000)
+    _add_export_args(p)
     p.set_defaults(func=_cmd_fio)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -293,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")
     p.add_argument("which", choices=("credits", "qp", "iodepth", "recovery", "resume"))
+    _add_export_args(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser(
@@ -327,13 +393,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ablation: disable checksum-NACK block repair")
     p.add_argument("--horizon", type=float, default=300.0,
                    help="sim-time bound for hang detection")
+    _add_export_args(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "bench", help="run the deterministic benchmark suite, write BENCH_<date>.json"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down sizes for CI (the committed baseline's mode)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output path (default: BENCH_<date>.json in the cwd)")
+    p.add_argument("--only", action="append", default=[], metavar="CASE",
+                   help="run only this case; repeatable")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="compare against this BENCH_*.json and gate on regression")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative regression tolerance for --baseline (default 0.10)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "bench-compare", help="gate one BENCH_*.json against a baseline"
+    )
+    p.add_argument("baseline", help="baseline BENCH_*.json")
+    p.add_argument("current", help="current BENCH_*.json")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative regression tolerance (default 0.10)")
+    p.set_defaults(func=_cmd_bench_compare)
 
     return parser
 
 
+def _run_with_exports(args: argparse.Namespace) -> int:
+    """Dispatch ``args.func`` under engine collection and export the results.
+
+    Collection is process-wide: every :class:`~repro.sim.engine.Engine`
+    built while the command runs is captured (ablations build many), so
+    multi-run commands export every run, indexed by construction order.
+    """
+    from repro.obs import runtime
+    from repro.obs.export import write_metrics_jsonl, write_trace_jsonl
+
+    if args.trace_out is not None:
+        from repro.sim.trace import Tracer
+
+        categories = None
+        if args.trace_categories:
+            categories = {
+                c.strip() for c in args.trace_categories.split(",") if c.strip()
+            }
+        runtime.install_tracer_factory(lambda: Tracer(categories=categories))
+    runtime.start_collection()
+    try:
+        rc = args.func(args)
+        engines = runtime.collected_engines()
+        if args.metrics_out is not None:
+            n = write_metrics_jsonl(args.metrics_out, engines)
+            print(f"metrics: {n} records over {len(engines)} engine run(s) "
+                  f"-> {args.metrics_out}", file=sys.stderr)
+        if args.trace_out is not None:
+            n = write_trace_jsonl(args.trace_out, engines)
+            print(f"trace: {n} records over {len(engines)} engine run(s) "
+                  f"-> {args.trace_out}", file=sys.stderr)
+    finally:
+        runtime.stop_collection()
+        runtime.install_tracer_factory(None)
+    return rc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "metrics_out", None) is not None or getattr(
+        args, "trace_out", None
+    ) is not None:
+        return _run_with_exports(args)
     return args.func(args)
 
 

@@ -42,17 +42,36 @@ class ControlChannel:
         self.profile = qp.device.arch_profile
         self.recv_depth = recv_depth
         self._recv_channel = CompletionChannel(qp.recv_cq)
-        self.sent = 0
-        self.received = 0
+        reg = self.engine.metrics
+        labels = {"qp": qp.qp_num, "i": reg.sequence("ctrl_channel")}
+        self._m_sent = reg.counter("ctrl.sent", **labels)
+        self._m_received = reg.counter("ctrl.received", **labels)
+        self._m_dropped = reg.counter("ctrl.dropped", **labels)
+        self._m_delayed = reg.counter("ctrl.delayed", **labels)
         #: Optional fault hook ``(msg) -> None | "drop" | float``: None for
         #: clean delivery, "drop" to lose the message after the CPU cost is
         #: paid, a float to delay posting by that many seconds.
         self.fault_hook = None
-        self.dropped = 0
-        self.delayed = 0
         # Pre-post the receive ring (setup time, not charged).
         for i in range(recv_depth):
             qp.post_recv(RecvWR(length=CTRL_MSG_BYTES, wr_id=i))
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def sent(self) -> int:
+        return int(self._m_sent.total)
+
+    @property
+    def received(self) -> int:
+        return int(self._m_received.total)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._m_dropped.total)
+
+    @property
+    def delayed(self) -> int:
+        return int(self._m_delayed.total)
 
     def send(self, thread: "CpuThread", msg: ControlMessage) -> Generator:
         """Post a control message (unsignalled SEND; fire-and-forget)."""
@@ -64,16 +83,16 @@ class ControlChannel:
                 # models loss the reliable QP cannot see (e.g. a stale
                 # route eating the datagram before the NIC retransmit
                 # window, or an injected switch fault).
-                self.dropped += 1
+                self._m_dropped.add()
                 self.engine.trace(
                     "ctrl", "drop", type=msg.type.value, session=msg.session_id
                 )
-                self.sent += 1
+                self._m_sent.add()
                 return
             if verdict is not None and verdict > 0:
                 # Delay inline (before posting) so FIFO ordering on the QP
                 # is preserved — only this message's departure slips.
-                self.delayed += 1
+                self._m_delayed.add()
                 yield self.engine.timeout(verdict)
         self.engine.trace(
             "ctrl", "send", type=msg.type.value, session=msg.session_id
@@ -86,7 +105,7 @@ class ControlChannel:
                 signaled=False,
             )
         )
-        self.sent += 1
+        self._m_sent.add()
 
     def receive(self, thread: "CpuThread") -> Generator:
         """Block until control messages arrive; returns the batch.
@@ -104,7 +123,8 @@ class ControlChannel:
             # Recycle the receive buffer.
             yield thread.exec(self.profile.post_recv_seconds)
             self.qp.post_recv(RecvWR(length=CTRL_MSG_BYTES, wr_id=wc.wr_id))
-        self.received += len(messages)
+        if messages:
+            self._m_received.add(len(messages))
         return messages
 
 
@@ -121,10 +141,25 @@ class DataChannels:
         self.engine = qps[0].engine
         self.profile = qps[0].device.arch_profile
         self._rr = 0
-        self.blocks_posted = 0
+        reg = self.engine.metrics
+        self._idx = reg.sequence("data_channels")
+        self._m_posted = reg.counter("data.blocks_posted", i=self._idx)
+        self._m_detached = reg.counter("data.qps_detached", i=self._idx)
+        #: per-QP posted-block counters, cached by qp_num (the rotation
+        #: can gain re-established QPs after failover).
+        self._m_posted_by_qp = {}
+        reg.gauge_fn("data.alive_qps", lambda: self.alive_count, i=self._idx)
         #: QPs removed from the rotation after entering ERROR (failover).
         self.dead: List["QueuePair"] = []
-        self.detached = 0
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def blocks_posted(self) -> int:
+        return int(self._m_posted.total)
+
+    @property
+    def detached(self) -> int:
+        return int(self._m_detached.total)
 
     def __len__(self) -> int:
         return len(self.qps)
@@ -149,7 +184,7 @@ class DataChannels:
                 return None
             del self.qps[i]
             self.dead.append(qp)
-            self.detached += 1
+            self._m_detached.add()
             self.engine.trace("data", "detach", qp=qp_num, alive=self.alive_count)
             return qp
         return None
@@ -213,7 +248,14 @@ class DataChannels:
                 # surviving channel (or let _pick raise when none remain).
                 continue
             break
-        self.blocks_posted += 1
+        self._m_posted.add()
+        per_qp = self._m_posted_by_qp.get(qp.qp_num)
+        if per_qp is None:
+            per_qp = self.engine.metrics.counter(
+                "data.qp_blocks_posted", i=self._idx, qp=qp.qp_num
+            )
+            self._m_posted_by_qp[qp.qp_num] = per_qp
+        per_qp.add()
 
     @property
     def outstanding(self) -> int:

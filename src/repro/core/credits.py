@@ -59,8 +59,13 @@ class CreditLedger:
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self._credits = Store(engine)
-        self.total_received = 0
-        self.peak_balance = 0
+        reg = engine.metrics
+        labels = {"i": reg.sequence("credit_ledger")}
+        self._m_received = reg.counter("credits.received_total", **labels)
+        self._m_flushed = reg.counter("credits.flushed_total", **labels)
+        self._m_peak = reg.gauge("credits.peak_balance", **labels)
+        reg.gauge_fn("credits.balance", lambda: len(self._credits), **labels)
+        reg.gauge_fn("credits.waiters", lambda: self._credits.waiters, **labels)
         #: (time, cumulative credits received) — lets experiments verify
         #: the exponential ramp of the ×2 grant policy.
         self.history: List[tuple] = []
@@ -69,9 +74,21 @@ class CreditLedger:
         #: again, so a zero balance with N concurrent jobs produces one
         #: request, not N.
         self.request_outstanding = False
-        #: Credits discarded by :meth:`flush` (stale grants to a dead
-        #: session incarnation, dropped at resume).
-        self.flushed = 0
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def total_received(self) -> int:
+        return int(self._m_received.total)
+
+    @property
+    def peak_balance(self) -> int:
+        return int(self._m_peak.value)
+
+    @property
+    def flushed(self) -> int:
+        """Credits discarded by :meth:`flush` (stale grants to a dead
+        session incarnation, dropped at resume)."""
+        return int(self._m_flushed.total)
 
     @property
     def balance(self) -> int:
@@ -85,8 +102,8 @@ class CreditLedger:
         """Add granted credits (from an MR_INFO_REP)."""
         self.request_outstanding = False
         self._credits.put_many(credits)
-        self.total_received += len(credits)
-        self.peak_balance = max(self.peak_balance, self.balance)
+        self._m_received.add(len(credits))
+        self._m_peak.set_max(self.balance)
         self.history.append((self.engine.now, self.total_received))
         self.engine.trace(
             "credits", "deposit",
@@ -101,7 +118,7 @@ class CreditLedger:
         accounted for these when it granted them.
         """
         self._credits.put_many(credits)
-        self.peak_balance = max(self.peak_balance, self.balance)
+        self._m_peak.set_max(self.balance)
 
     def flush(self) -> int:
         """Drop every held credit; returns how many were discarded.
@@ -115,7 +132,8 @@ class CreditLedger:
         flushed = len(self._credits.items)
         self._credits.items.clear()
         self.request_outstanding = False
-        self.flushed += flushed
+        if flushed:
+            self._m_flushed.add(flushed)
         if flushed:
             self.engine.trace("credits", "flush", discarded=flushed)
         return flushed
@@ -151,7 +169,14 @@ class CreditGranter:
         #: An MR_INFO_REQ arrived while no block was free; the next freed
         #: block must be granted immediately.
         self.pending_request = False
-        self.total_granted = 0
+        reg = pool.engine.metrics
+        self._m_granted = reg.counter(
+            "credits.granted_total", i=reg.sequence("credit_granter")
+        )
+
+    @property
+    def total_granted(self) -> int:
+        return int(self._m_granted.total)
 
     def _take_free(self, limit: int) -> List[Credit]:
         granted: List[Credit] = []
@@ -161,7 +186,8 @@ class CreditGranter:
                 break
             block.advertise()
             granted.append(Credit.for_block(block))
-        self.total_granted += len(granted)
+        if granted:
+            self._m_granted.add(len(granted))
         return granted
 
     # -- the three grant triggers of §IV-C -----------------------------------------

@@ -36,12 +36,22 @@ class BlockPool(Generic[BlockT]):
         engine: "Engine",
         blocks: List[BlockT],
         block_size: int,
+        role: str = "pool",
     ) -> None:
         self.engine = engine
         self.block_size = block_size
+        self.role = role
         self.blocks: Dict[int, BlockT] = {b.block_id: b for b in blocks}
         self.free = Store(engine)
         self.free.put_many(blocks)
+        # Occupancy gauges are callback-backed: zero cost on the block
+        # get/put hot path, sampled only when a snapshot is taken.
+        reg = engine.metrics
+        labels = {"role": role, "i": reg.sequence(f"pool.{role}")}
+        self._m_returns = reg.counter("pool.block_returns", **labels)
+        reg.gauge_fn("pool.free_blocks", lambda: len(self.free), **labels)
+        reg.gauge_fn("pool.blocks", lambda: len(self.blocks), **labels)
+        reg.gauge_fn("pool.waiters", lambda: self.free.waiters, **labels)
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -63,6 +73,7 @@ class BlockPool(Generic[BlockT]):
         if block.block_id not in self.blocks:
             raise KeyError(f"foreign block {block.block_id}")
         self.free.put_many([block])
+        self._m_returns.add()
 
     def cancel_get_free_blk(self, event) -> bool:
         """Withdraw a pending :meth:`get_free_blk` (aborted waiter)."""
@@ -86,7 +97,7 @@ class BlockPool(Generic[BlockT]):
             buf = host.memory.alloc(block_size + HEADER_BYTES)
             mr = pd.reg_mr_sync(buf, AccessFlags.LOCAL_WRITE)
             blocks.append(SourceBlock(i, mr))
-        return cls(host.engine, blocks, block_size)
+        return cls(host.engine, blocks, block_size, role="source")
 
     @classmethod
     def build_sink(
@@ -106,7 +117,7 @@ class BlockPool(Generic[BlockT]):
                 buf, AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_WRITE
             )
             blocks.append(SinkBlock(i, mr))
-        return cls(host.engine, blocks, block_size)
+        return cls(host.engine, blocks, block_size, role="sink")
 
     @classmethod
     def build_source_timed(
@@ -124,4 +135,4 @@ class BlockPool(Generic[BlockT]):
             buf = host.memory.alloc(block_size + HEADER_BYTES)
             mr = yield pd.reg_mr(thread, buf, AccessFlags.LOCAL_WRITE)
             blocks.append(SourceBlock(i, mr))
-        return cls(host.engine, blocks, block_size)
+        return cls(host.engine, blocks, block_size, role="source")

@@ -4,13 +4,20 @@ With multiple data-channel queue pairs, blocks of one session may land at
 the sink in any order.  The reassembly buffer holds early arrivals and
 releases the longest possible in-order run, keyed by (session id,
 sequence number), so upper layers always see an in-order byte stream.
+
+Bookkeeping lives in a :class:`~repro.obs.registry.MetricsRegistry`
+(one may be passed in — the sink engine shares its engine's registry —
+or a private one is created).  The historical stat attributes
+(``duplicates``, ``duplicates_by_session``, ``payload_conflicts``,
+``max_parked``) remain available as read-only views over the registry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.messages import BlockHeader
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["ReassemblyBuffer"]
 
@@ -18,23 +25,55 @@ __all__ = ["ReassemblyBuffer"]
 class ReassemblyBuffer:
     """Per-session in-order delivery of out-of-order arrivals."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        **labels: Any,
+    ) -> None:
         #: session id -> next sequence number owed to the application.
         self._next_seq: Dict[int, int] = {}
         #: session id -> {seq: (header, payload)} parked out-of-order.
         #: Nested per-session so pending()/reclaim are O(session), not
         #: O(everything parked on the link).
         self._parked: Dict[int, Dict[int, Tuple[BlockHeader, Any]]] = {}
-        self.max_parked = 0
-        self.duplicates = 0
-        #: session id -> duplicates dropped for that session (chaos tests
-        #: attribute replay storms to the session that caused them).
-        self.duplicates_by_session: Dict[int, int] = {}
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels)
+        self._m_duplicates = self.metrics.counter("reassembly.duplicates", **labels)
         #: A "duplicate" whose payload differed from the parked/delivered
         #: copy.  Still dropped (first-writer-wins, as RDMA WRITE would
         #: behave), but counted separately — silent divergence is a bug
         #: signal, not a benign replay.
-        self.payload_conflicts = 0
+        self._m_conflicts = self.metrics.counter(
+            "reassembly.payload_conflicts", **labels
+        )
+        self._m_max_parked = self.metrics.gauge("reassembly.max_parked", **labels)
+        self.metrics.gauge_fn("reassembly.parked", self._total_parked, **labels)
+        self.metrics.gauge_fn(
+            "reassembly.sessions", lambda: len(self.sessions()), **labels
+        )
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def duplicates(self) -> int:
+        return int(self._m_duplicates.total)
+
+    @property
+    def payload_conflicts(self) -> int:
+        return int(self._m_conflicts.total)
+
+    @property
+    def max_parked(self) -> int:
+        return int(self._m_max_parked.value)
+
+    @property
+    def duplicates_by_session(self) -> Dict[int, int]:
+        """session id -> duplicates dropped for that session (chaos tests
+        attribute replay storms to the session that caused them)."""
+        out: Dict[int, int] = {}
+        for metric in self.metrics.family("reassembly.session_duplicates"):
+            if all(metric.labels.get(k) == v for k, v in self._labels.items()):
+                out[metric.labels["session"]] = int(metric.total)
+        return out
 
     def _total_parked(self) -> int:
         return sum(len(per) for per in self._parked.values())
@@ -93,10 +132,12 @@ class ReassemblyBuffer:
 
     def _count_duplicate(self, sid: int, payload: Any, parked_payload: Any,
                          comparable: bool) -> None:
-        self.duplicates += 1
-        self.duplicates_by_session[sid] = self.duplicates_by_session.get(sid, 0) + 1
+        self._m_duplicates.add()
+        self.metrics.counter(
+            "reassembly.session_duplicates", session=sid, **self._labels
+        ).add()
         if comparable and parked_payload != payload:
-            self.payload_conflicts += 1
+            self._m_conflicts.add()
 
     def push(self, header: BlockHeader, payload: Any) -> List[Tuple[BlockHeader, Any]]:
         """Insert an arrival; return the blocks now deliverable in order.
@@ -108,17 +149,21 @@ class ReassemblyBuffer:
         """
         sid = header.session_id
         nxt = self._next_seq.get(sid, 0)
-        per = self._parked.setdefault(sid, {})
+        per = self._parked.get(sid)
         if header.seq < nxt:
             # Already delivered; the original payload is gone so divergence
-            # is undetectable here.
+            # is undetectable here.  Counted before touching the parked
+            # index so a replay against a pruned session leaves no state
+            # behind.
             self._count_duplicate(sid, payload, None, comparable=False)
             return []
-        if header.seq in per:
+        if per is not None and header.seq in per:
             self._count_duplicate(sid, payload, per[header.seq][1], comparable=True)
             return []
+        if per is None:
+            per = self._parked.setdefault(sid, {})
         per[header.seq] = (header, payload)
-        self.max_parked = max(self.max_parked, self._total_parked())
+        self._m_max_parked.set_max(self._total_parked())
         released: List[Tuple[BlockHeader, Any]] = []
         while nxt in per:
             released.append(per.pop(nxt))
@@ -134,13 +179,15 @@ class ReassemblyBuffer:
         The sink GC needs the actual (header, payload) tuples so it can
         free the pool blocks still holding the payloads.  Per-session
         bookkeeping (the parked index, the sequence cursor, and the
-        duplicate attribution map) is pruned here so a long-lived sink
+        duplicate attribution metric) is pruned here so a long-lived sink
         stays bounded; the aggregate chaos-audit counters
         (:attr:`duplicates`, :attr:`payload_conflicts`) are preserved.
         """
         per = self._parked.pop(session_id, {})
         self._next_seq.pop(session_id, None)
-        self.duplicates_by_session.pop(session_id, None)
+        self.metrics.remove(
+            "reassembly.session_duplicates", session=session_id, **self._labels
+        )
         return [per[seq] for seq in sorted(per)]
 
     def finish_session(self, session_id: int) -> int:

@@ -69,11 +69,25 @@ class SinkEngine:
 
         self.pool: Optional[BlockPool[SinkBlock]] = None
         self.granter: Optional[CreditGranter] = None
-        self.reassembly = ReassemblyBuffer()
+        reg = self.engine.metrics
+        self._m_idx = reg.sequence("sink_engine")
+        labels = {"sink": self._m_idx}
+        self.reassembly = ReassemblyBuffer(registry=reg, sink=self._m_idx)
         self._ready: Store = Store(self.engine)
         self._expected_bytes: Dict[int, int] = {}
         self._consumed_bytes: Dict[int, int] = {}
-        self._finished_blocks = 0
+        self._m_delivered = reg.counter("sink.blocks_delivered", **labels)
+        self._m_reclaimed = reg.counter("sink.sessions_reclaimed", **labels)
+        self._m_stray = reg.counter("sink.stray_messages", **labels)
+        self._m_mismatches = reg.counter("sink.checksum_mismatches", **labels)
+        self._m_nacks = reg.counter("sink.nacks_sent", **labels)
+        self._m_markers = reg.counter("sink.markers_sent", **labels)
+        self._m_resumes = reg.counter("sink.resumes", **labels)
+        self._m_crashes = reg.counter("sink.crashes", **labels)
+        reg.gauge_fn("sink.ready_blocks", lambda: len(self._ready.items), **labels)
+        reg.gauge_fn(
+            "sink.active_sessions", lambda: len(self._expected_bytes), **labels
+        )
         self._dataset_done_total: Dict[int, int] = {}
         #: Succeeds per session once everything is consumed and acked;
         #: fails (defused) with :class:`StaleSessionReclaimed` when the GC
@@ -85,8 +99,6 @@ class SinkEngine:
         self._acked: Dict[int, int] = {}
         #: session id -> last control/consumption activity timestamp.
         self._last_activity: Dict[int, float] = {}
-        self.sessions_reclaimed = 0
-        self.stray_messages = 0
         self._consumers_started = False
         self._gc_running = False
         # -- integrity / restart-marker / resume state --------------------------------
@@ -111,20 +123,44 @@ class SinkEngine:
         #: session id -> (marker, credits) of the last SESSION_RESUME_REP,
         #: so a retransmitted resume request is answered idempotently.
         self._resume_grants: Dict[int, tuple] = {}
-        self.checksum_mismatches = 0
-        self.nacks_sent = 0
-        self.markers_sent = 0
-        self.resumes = 0
-        self.crashes = 0
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def blocks_delivered(self) -> int:
+        return int(self._m_delivered.total)
+
+    @property
+    def sessions_reclaimed(self) -> int:
+        return int(self._m_reclaimed.total)
+
+    @property
+    def stray_messages(self) -> int:
+        return int(self._m_stray.total)
+
+    @property
+    def checksum_mismatches(self) -> int:
+        return int(self._m_mismatches.total)
+
+    @property
+    def nacks_sent(self) -> int:
+        return int(self._m_nacks.total)
+
+    @property
+    def markers_sent(self) -> int:
+        return int(self._m_markers.total)
+
+    @property
+    def resumes(self) -> int:
+        return int(self._m_resumes.total)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._m_crashes.total)
 
     # -- public -----------------------------------------------------------------
     def start(self) -> None:
         """Launch the control-handling thread."""
         self.engine.process(self._control_thread())
-
-    @property
-    def blocks_delivered(self) -> int:
-        return self._finished_blocks
 
     def consumed_bytes(self, session_id: int) -> int:
         return self._consumed_bytes.get(session_id, 0)
@@ -201,7 +237,7 @@ class SinkEngine:
                 # In flight when its session was reclaimed (or a replay).
                 # The block's region may since have been refunded to a live
                 # session or revoked — not ours to touch.
-                self.stray_messages += 1
+                self._m_stray.add()
                 return
             yield from self._on_block_done(thread, msg)
         elif msg.type is CtrlType.MR_INFO_REQ:
@@ -212,7 +248,7 @@ class SinkEngine:
                 if granted:
                     yield from self._send_credits(thread, msg.session_id, granted)
             else:
-                self.stray_messages += 1
+                self._m_stray.add()
         elif msg.type is CtrlType.SESSION_RESUME_REQ:
             yield from self._on_session_resume(thread, msg)
         elif msg.type is CtrlType.DATASET_DONE:
@@ -231,7 +267,7 @@ class SinkEngine:
                 self._dataset_done_total[msg.session_id] = msg.data
                 yield from self._maybe_finish(thread, msg.session_id)
             else:
-                self.stray_messages += 1
+                self._m_stray.add()
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"sink got unexpected control message {msg.type}")
 
@@ -249,13 +285,13 @@ class SinkEngine:
             # ask the source to re-send its still-WAITING copy into the
             # same credit.  With repair off the session starves and dies
             # with a typed abort instead of delivering corrupt data.
-            self.checksum_mismatches += 1
+            self._m_mismatches.add()
             self.engine.trace(
                 "sink", "checksum_mismatch",
                 session=header.session_id, seq=header.seq,
             )
             if self.config.block_repair:
-                self.nacks_sent += 1
+                self._m_nacks.add()
                 yield from self.ctrl.send(
                     thread,
                     ControlMessage(
@@ -276,7 +312,7 @@ class SinkEngine:
                 yield from self._send_credits(thread, msg.session_id, granted)
             return
         block.finish(header, payload)
-        self._finished_blocks += 1
+        self._m_delivered.add()
         for hdr, blk in self.reassembly.push(header, block):
             yield self._ready.put((hdr, blk))
         granted = self.granter.on_block_done()
@@ -331,7 +367,7 @@ class SinkEngine:
                 ),
             )
             return
-        self.resumes += 1
+        self._m_resumes.add()
         self.engine.trace("sink", "session_resume", session=sid, marker=marker)
         if sid in self._expected_bytes:
             # The old incarnation is still live here (source-side crash):
@@ -405,7 +441,7 @@ class SinkEngine:
         restarted sink cannot tell them from garbage, so a resume
         re-writes them identically.
         """
-        self.crashes += 1
+        self._m_crashes.add()
         self.engine.trace("sink", "crash")
         for sid in list(self._expected_bytes):
             done = self.session_done.get(sid)
@@ -512,7 +548,7 @@ class SinkEngine:
         if delivered - self._marker_sent.get(session_id, 0) < interval:
             return
         self._marker_sent[session_id] = delivered
-        self.markers_sent += 1
+        self._m_markers.add()
         yield from self.ctrl.send(
             thread, ControlMessage(CtrlType.BLOCK_MARKER, session_id, delivered)
         )
@@ -563,7 +599,7 @@ class SinkEngine:
     def _reclaim_session(self, session_id: int) -> None:
         """Free everything a dead session still pins at the sink."""
         assert self.pool is not None
-        self.sessions_reclaimed += 1
+        self._m_reclaimed.add()
         self.engine.trace("sink", "gc_reclaim", session=session_id)
         # Parked out-of-order arrivals and undelivered in-order blocks
         # both hold pool blocks with payload.

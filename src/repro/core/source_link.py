@@ -98,8 +98,24 @@ class TransferJob:
         #: resumed session starts at the sink's restart marker and never
         #: re-reads (or re-sends) the prefix below it.
         self.start_seq = 0
+        # Session-labelled registry counters are cumulative across every
+        # incarnation reusing this session id (resumes, id reuse after
+        # completion); the plain attributes below stay per-incarnation, so
+        # both are maintained: the attribute for job-local views and tests,
+        # the counter for exported snapshots.
+        reg = link.engine.metrics
+        labels = {"link": link._m_idx, "session": session_id}
+        self._m_completed = reg.counter("source.blocks_completed", **labels)
+        self._m_resends = reg.counter("source.block_resends", **labels)
+        self._m_repairs = reg.counter("source.block_repairs", **labels)
+        self._m_ctrl_retries = reg.counter("source.ctrl_retries", **labels)
+        self._m_latency = reg.histogram("source.block_latency_seconds", **labels)
         self.completed_blocks = 0
         self.resends = 0
+        #: NACK-driven selective re-sends performed.
+        self.repairs = 0
+        #: Control-plane retransmissions (timed-out requests resent).
+        self.ctrl_retries = 0
         #: seq -> completed block held WAITING as a repair copy until a
         #: restart marker (cumulative consumed-prefix ack) or the
         #: DATASET_DONE_ACK covers it.  Only populated when
@@ -110,10 +126,6 @@ class TransferJob:
         self.marker = 0
         #: seq -> BLOCK_NACK repair attempts (bounded by max_block_resends).
         self.nack_attempts: Dict[int, int] = {}
-        #: NACK-driven selective re-sends performed.
-        self.repairs = 0
-        #: Control-plane retransmissions (timed-out requests resent).
-        self.ctrl_retries = 0
         #: Per-block source-side latency: post of the RDMA WRITE to the
         #: polled completion (includes the RC ACK round trip), seconds.
         self.block_latencies: list = []
@@ -133,6 +145,23 @@ class TransferJob:
         self.error: Optional[TransferError] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+
+    # -- incarnation-local increments that also feed the registry --------------
+    def _count_completed(self) -> None:
+        self.completed_blocks += 1
+        self._m_completed.add()
+
+    def _count_resend(self) -> None:
+        self.resends += 1
+        self._m_resends.add()
+
+    def _count_repair(self) -> None:
+        self.repairs += 1
+        self._m_repairs.add()
+
+    def _count_ctrl_retry(self) -> None:
+        self.ctrl_retries += 1
+        self._m_ctrl_retries.add()
 
     @property
     def blocks_to_send(self) -> int:
@@ -167,11 +196,14 @@ class SourceLink:
         self.config = config
         self.ledger = CreditLedger(self.engine)
         self.jobs: Dict[int, TransferJob] = {}
-        self.mr_requests_sent = 0
-        #: Inbound control messages for finished/aborted/unknown sessions
-        #: (stale retransmission replies, duplicate ACKs) — counted, not
-        #: fatal: with retries in play they are expected traffic.
-        self.stray_messages = 0
+        reg = self.engine.metrics
+        self._m_idx = reg.sequence("source_link")
+        labels = {"link": self._m_idx}
+        self._m_mr_requests = reg.counter("source.mr_requests", **labels)
+        self._m_stray = reg.counter("source.stray_messages", **labels)
+        self._m_crashes = reg.counter("source.crashes", **labels)
+        reg.gauge_fn("source.active_jobs", lambda: self._active_jobs, **labels)
+        reg.gauge_fn("source.inflight_wrs", lambda: len(self._inflight), **labels)
         self._wr_ids = itertools.count()
         #: wr_id -> (job, block, credit, failed_attempts, is_repair).
         self._inflight: Dict[
@@ -182,7 +214,22 @@ class SourceLink:
         #: Data QPs in creation order, for fault injection by index — the
         #: live rotation in ``self.data`` shrinks as channels die.
         self._all_data_qps = list(data.qps)
-        self.crashes = 0
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def mr_requests_sent(self) -> int:
+        return int(self._m_mr_requests.total)
+
+    @property
+    def stray_messages(self) -> int:
+        """Inbound control messages for finished/aborted/unknown sessions
+        (stale retransmission replies, duplicate ACKs) — counted, not
+        fatal: with retries in play they are expected traffic."""
+        return int(self._m_stray.total)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._m_crashes.total)
 
     # -- public API --------------------------------------------------------------
     def transfer(self, data_source: Any, total_bytes: int, session_id: int):
@@ -294,7 +341,7 @@ class SourceLink:
         :class:`EndpointCrashed` and all volatile state (loaded blocks,
         repair copies, the credit ledger) is lost.  The sink's restart
         markers make the sessions resumable afterwards."""
-        self.crashes += 1
+        self._m_crashes.add()
         self.engine.trace("link", "crash")
         for job in list(self.jobs.values()):
             self._abort_job(
@@ -384,7 +431,7 @@ class SourceLink:
         attempts = self.config.ctrl_retries + 1
         for attempt in range(attempts):
             if attempt:
-                job.ctrl_retries += 1
+                job._count_ctrl_retry()
             yield from self.ctrl.send(thread, ControlMessage(req_type, sid, payload))
             get_ev = store.get()
             timer = self.engine.timeout(timeout)
@@ -508,9 +555,9 @@ class SourceLink:
                 # One request in flight per *link*, however many jobs are
                 # starved — the grant lands in the shared ledger anyway.
                 self.ledger.request_outstanding = True
-                self.mr_requests_sent += 1
+                self._m_mr_requests.add()
                 if attempts:
-                    job.ctrl_retries += 1
+                    job._count_ctrl_retry()
                 yield from self.ctrl.send(
                     thread, ControlMessage(CtrlType.MR_INFO_REQ, job.session_id)
                 )
@@ -615,7 +662,9 @@ class SourceLink:
                     self._recycle(block, credit)
                     continue
                 if posted_at is not None and wc.ok:
-                    job.block_latencies.append(self.engine.now - posted_at)
+                    latency = self.engine.now - posted_at
+                    job.block_latencies.append(latency)
+                    job._m_latency.observe(latency)
                 if wc.ok:
                     assert block.header is not None
                     yield from self.ctrl.send(
@@ -636,7 +685,7 @@ class SourceLink:
                         self.pool.put_free_blk(block)
                     if is_repair:
                         continue  # counted when it first completed
-                    job.completed_blocks += 1
+                    job._count_completed()
                     if job.completed_blocks == job.blocks_to_send:
                         yield job._loaded.put(None)  # release the sender
                         yield from self.ctrl.send(
@@ -670,7 +719,7 @@ class SourceLink:
                             ),
                         )
                         continue
-                    job.resends += 1
+                    job._count_resend()
                     block.resend()
                     block.sending()
                     wr_id = next(self._wr_ids)
@@ -691,7 +740,7 @@ class SourceLink:
             timeout *= self.config.ctrl_backoff
             if attempt + 1 == attempts:
                 break
-            job.ctrl_retries += 1
+            job._count_ctrl_retry()
             yield from self.ctrl.send(
                 thread,
                 ControlMessage(CtrlType.DATASET_DONE, job.session_id, job.total_bytes),
@@ -781,7 +830,7 @@ class SourceLink:
                 if job is None:
                     # Finished or aborted session: stale replies, markers
                     # and duplicate ACKs are expected under retransmission.
-                    self.stray_messages += 1
+                    self._m_stray.add()
                     continue
                 if msg.type is CtrlType.DATASET_DONE_ACK:
                     job.finished_at = self.engine.now
@@ -804,7 +853,7 @@ class SourceLink:
                 elif msg.type in job._replies:
                     yield job._replies[msg.type].put(msg)
                 else:
-                    self.stray_messages += 1
+                    self._m_stray.add()
 
     def _apply_marker(self, job: TransferJob, upto: int) -> None:
         """A cumulative consumed-prefix ack: everything below ``upto`` is
@@ -829,7 +878,7 @@ class SourceLink:
         if block is None:
             # A repair for this seq is already in flight (ownership sits
             # in _inflight) — or the NACK is stale.
-            self.stray_messages += 1
+            self._m_stray.add()
             return
         attempts = job.nack_attempts.get(seq, 0) + 1
         job.nack_attempts[seq] = attempts
@@ -842,7 +891,7 @@ class SourceLink:
                 ),
             )
             return
-        job.repairs += 1
+        job._count_repair()
         self.engine.trace(
             "link", "repair", session=job.session_id, seq=seq, attempt=attempts
         )

@@ -27,6 +27,10 @@ class Path:
         self.engine = engine
         self.links: List[Link] = list(links)
         self.name = name
+        reg = engine.metrics
+        labels = {"path": name, "i": reg.sequence("path")}
+        self._m_bytes = reg.counter("path.bytes_total", **labels)
+        self._m_ctrl = reg.counter("path.ctrl_datagrams", **labels)
 
     @property
     def bottleneck_gbps(self) -> float:
@@ -58,6 +62,7 @@ class Path:
         delay = self.latency
         if delay > 0:
             yield self.engine.timeout(delay)
+        self._m_bytes.add(nbytes)
 
     def deliver_latency(self, nbytes: int = 64) -> Generator:
         """Process generator: deliver a small control datagram.
@@ -69,6 +74,7 @@ class Path:
         wait = self.latency + nbytes / rate
         if wait > 0:
             yield self.engine.timeout(wait)
+        self._m_ctrl.add()
 
     def __repr__(self) -> str:  # pragma: no cover
         hops = " -> ".join(link.name for link in self.links)

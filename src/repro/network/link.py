@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.sim.monitor import Counter
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,14 +48,25 @@ class Link:
         self.mtu = mtu
         self.name = name
         self._wire = Resource(engine, capacity=1)
-        self.bytes_sent = Counter(f"{name}.bytes")
+        reg = engine.metrics
+        labels = {"link": name, "i": reg.sequence("link")}
+        self.bytes_sent = reg.counter("link.bytes_sent", **labels)
+        self._m_flap_stalls = reg.counter("link.flap_stalls", **labels)
+        self._m_latency_spikes = reg.counter("link.latency_spikes", **labels)
         #: Absolute sim time until which the link is down (flap injection).
         self._down_until = 0.0
         #: Optional fault hook ``(nbytes) -> float``: extra serialisation
         #: delay in seconds (latency spike), 0.0 for a clean transit.
         self.fault_hook = None
-        self.flap_stalls = 0
-        self.latency_spikes = 0
+
+    # -- backwards-compat stat views ------------------------------------------
+    @property
+    def flap_stalls(self) -> int:
+        return int(self._m_flap_stalls.total)
+
+    @property
+    def latency_spikes(self) -> int:
+        return int(self._m_latency_spikes.total)
 
     def fail_for(self, duration: float) -> None:
         """Take the link down for ``duration`` seconds (a flap).
@@ -85,19 +95,19 @@ class Link:
         if nbytes == 0:
             return
         while self.engine.now < self._down_until:
-            self.flap_stalls += 1
+            self._m_flap_stalls.add()
             yield self.engine.timeout(self._down_until - self.engine.now)
         yield self._wire.request()
         try:
             # A flap may have started while we queued for the wire.
             while self.engine.now < self._down_until:
-                self.flap_stalls += 1
+                self._m_flap_stalls.add()
                 yield self.engine.timeout(self._down_until - self.engine.now)
             delay = nbytes / self.bytes_per_second
             if self.fault_hook is not None:
                 spike = self.fault_hook(nbytes)
                 if spike > 0:
-                    self.latency_spikes += 1
+                    self._m_latency_spikes.add()
                     delay += spike
             yield self.engine.timeout(delay)
         finally:

@@ -1,0 +1,36 @@
+"""Unified observability layer: metrics registry, collection hooks,
+JSONL export, and the regression-gated benchmark harness.
+
+Kept import-light: the engine imports this package at startup, so only
+the registry and runtime hooks load eagerly.  The bench/compare modules
+(which pull in testbeds and application stacks) are imported lazily by
+the CLI.
+"""
+
+from repro.obs.registry import (
+    CallbackGauge,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs import runtime
+from repro.obs.export import (
+    metrics_lines,
+    trace_lines,
+    write_metrics_jsonl,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "CallbackGauge",
+    "HistogramMetric",
+    "runtime",
+    "metrics_lines",
+    "trace_lines",
+    "write_metrics_jsonl",
+    "write_trace_jsonl",
+]

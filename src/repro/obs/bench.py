@@ -1,0 +1,256 @@
+"""Deterministic benchmark harness over the simulated experiment suite.
+
+``python -m repro bench`` runs a fixed set of cases — RFTP on the LAN
+and WAN testbeds, GridFTP on the WAN, fio against the RDMA block
+device, and a chaos-recovery transfer — and records, per case:
+
+* ``gbps`` — application goodput,
+* ``p50_us`` / ``p99_us`` — block (or I/O) latency percentiles where
+  the workload produces them (``None`` where it does not; never NaN,
+  which is not valid JSON),
+* ``events_per_sec`` — simulator engine throughput (processed events
+  over wall-clock seconds), the health metric for the sim itself,
+* ``sim_time`` / ``events`` — determinism anchors: these must be
+  bit-identical run to run, so drift flags a behaviour change.
+
+Results are written as ``BENCH_<date>.json`` and gated against the
+committed ``benchmarks/BENCH_baseline.json`` by :mod:`repro.obs.compare`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BENCH_CASES",
+    "run_bench",
+    "write_bench",
+    "validate_bench",
+    "bench_filename",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Required per-case result keys (values may be ``None`` where a case
+#: has no meaningful measurement, e.g. GridFTP latency).
+RESULT_KEYS = ("gbps", "p50_us", "p99_us", "events_per_sec", "sim_time", "events")
+
+
+def _rftp_latency_us(engine) -> tuple:
+    """Merge block-latency samples across every session histogram."""
+    samples: List[float] = []
+    for metric in engine.metrics.family("source.block_latency_seconds"):
+        samples.extend(metric.samples)
+    if not samples:
+        return None, None
+    arr = np.asarray(samples, dtype=float)
+    return (
+        float(np.percentile(arr, 50) * 1e6),
+        float(np.percentile(arr, 99) * 1e6),
+    )
+
+
+def _run_rftp_case(testbed_name: str, total_bytes: int) -> dict:
+    from repro.apps.rftp import run_rftp
+    from repro.testbeds import TESTBEDS
+
+    tb = TESTBEDS[testbed_name]()
+    result = run_rftp(tb, total_bytes=total_bytes)
+    p50, p99 = _rftp_latency_us(tb.engine)
+    return {
+        "gbps": result.gbps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "sim_time": tb.engine.now,
+        "events": tb.engine.events_processed,
+    }
+
+
+def _run_gridftp_case(testbed_name: str, total_bytes: int, streams: int) -> dict:
+    from repro.apps.gridftp import run_gridftp
+    from repro.testbeds import TESTBEDS
+
+    tb = TESTBEDS[testbed_name]()
+    result = run_gridftp(tb, total_bytes=total_bytes, streams=streams)
+    return {
+        "gbps": result.gbps,
+        "p50_us": None,  # GridFTP reports goodput only, no per-block latency
+        "p99_us": None,
+        "sim_time": tb.engine.now,
+        "events": tb.engine.events_processed,
+    }
+
+
+def _run_fio_case(testbed_name: str, total_blocks: int) -> dict:
+    from repro.apps.fio import FioJob, run_fio
+    from repro.testbeds import TESTBEDS
+
+    tb = TESTBEDS[testbed_name]()
+    job = FioJob(semantics="write", block_size=128 * 1024, iodepth=16,
+                 total_blocks=total_blocks)
+    result = run_fio(tb, job)
+    return {
+        "gbps": result.gbps,
+        "p50_us": result.lat_p50_us,
+        "p99_us": result.lat_p99_us,
+        "sim_time": tb.engine.now,
+        "events": tb.engine.events_processed,
+    }
+
+
+def _run_chaos_case(testbed_name: str, total_bytes: int) -> dict:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.testbeds import TESTBEDS
+
+    tb = TESTBEDS[testbed_name]()
+    plan = FaultPlan(seed=7, write_fault_rate=0.02, ctrl_drop_rate=0.01)
+    result = run_chaos(tb, total_bytes=total_bytes, plan=plan)
+    gbps = None
+    if result.completed and result.sim_time > 0:
+        gbps = total_bytes * 8 / result.sim_time / 1e9
+    p50, p99 = _rftp_latency_us(tb.engine)
+    return {
+        "gbps": gbps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "sim_time": tb.engine.now,
+        "events": tb.engine.events_processed,
+    }
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a runner closure per mode."""
+
+    name: str
+    #: ``mode -> zero-arg runner`` returning the raw result dict.
+    runners: Dict[str, Callable[[], dict]]
+
+    def run(self, mode: str) -> dict:
+        runner = self.runners[mode]
+        t0 = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - t0
+        events = result.get("events") or 0
+        result["events_per_sec"] = (events / wall) if wall > 0 else None
+        return result
+
+
+MiB = 1024 * 1024
+
+BENCH_CASES: Sequence[BenchCase] = (
+    BenchCase(
+        "rftp_roce_lan",
+        {
+            "quick": lambda: _run_rftp_case("roce-lan", 64 * MiB),
+            "full": lambda: _run_rftp_case("roce-lan", 1024 * MiB),
+        },
+    ),
+    BenchCase(
+        "rftp_ani_wan",
+        {
+            "quick": lambda: _run_rftp_case("ani-wan", 256 * MiB),
+            "full": lambda: _run_rftp_case("ani-wan", 4096 * MiB),
+        },
+    ),
+    BenchCase(
+        "gridftp_ani_wan",
+        {
+            "quick": lambda: _run_gridftp_case("ani-wan", 64 * MiB, streams=4),
+            "full": lambda: _run_gridftp_case("ani-wan", 1024 * MiB, streams=4),
+        },
+    ),
+    BenchCase(
+        "fio_write_roce",
+        {
+            "quick": lambda: _run_fio_case("roce-lan", total_blocks=512),
+            "full": lambda: _run_fio_case("roce-lan", total_blocks=8192),
+        },
+    ),
+    BenchCase(
+        "chaos_recovery_roce",
+        {
+            "quick": lambda: _run_chaos_case("roce-lan", 32 * MiB),
+            "full": lambda: _run_chaos_case("roce-lan", 256 * MiB),
+        },
+    ),
+)
+
+
+def run_bench(
+    mode: str = "quick",
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str, dict], None]] = None,
+    date: Optional[str] = None,
+) -> dict:
+    """Run the suite; return the ``BENCH_*.json`` document as a dict."""
+    if mode not in ("quick", "full"):
+        raise ValueError(f"unknown bench mode {mode!r}")
+    if date is None:
+        date = _dt.date.today().isoformat()
+    selected = [c for c in BENCH_CASES if only is None or c.name in only]
+    if only is not None:
+        unknown = set(only) - {c.name for c in BENCH_CASES}
+        if unknown:
+            raise ValueError(f"unknown bench case(s): {sorted(unknown)}")
+    results: Dict[str, dict] = {}
+    for case in selected:
+        result = case.run(mode)
+        results[case.name] = result
+        if progress is not None:
+            progress(case.name, result)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "date": date,
+        "mode": mode,
+        "results": results,
+    }
+
+
+def bench_filename(date: str) -> str:
+    return f"BENCH_{date}.json"
+
+
+def write_bench(doc: dict, path: str) -> None:
+    validate_bench(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+
+
+def validate_bench(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed bench document."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("kind") != "repro-bench":
+        raise ValueError(f"not a repro-bench document (kind={doc.get('kind')!r})")
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(f"unsupported bench schema {doc.get('schema')!r}")
+    if doc.get("mode") not in ("quick", "full"):
+        raise ValueError(f"invalid bench mode {doc.get('mode')!r}")
+    if not isinstance(doc.get("date"), str):
+        raise ValueError("bench document needs a string 'date'")
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        raise ValueError("bench document has no results")
+    for name, result in results.items():
+        if not isinstance(result, dict):
+            raise ValueError(f"case {name!r}: result must be an object")
+        for key in RESULT_KEYS:
+            if key not in result:
+                raise ValueError(f"case {name!r}: missing key {key!r}")
+            value = result[key]
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(f"case {name!r}: {key} must be numeric or null")
+            if isinstance(value, float) and value != value:
+                raise ValueError(f"case {name!r}: {key} is NaN")

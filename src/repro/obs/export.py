@@ -1,0 +1,93 @@
+"""JSONL exporters for metrics snapshots and trace buffers.
+
+One line per record keeps the files streamable and diff-friendly:
+
+* metrics files: a ``{"record": "engine", ...}`` header per engine run
+  followed by one ``{"record": "metric", ...}`` line per metric;
+* trace files: one ``{"record": "trace", ...}`` line per
+  :class:`~repro.sim.trace.TraceRecord`.
+
+Multi-engine commands (ablations) produce several runs in one file,
+distinguished by the ``run`` index.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, List
+
+__all__ = ["metrics_lines", "trace_lines", "write_metrics_jsonl", "write_trace_jsonl"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion for trace fields (enums, objects...)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def metrics_lines(engines: Iterable[Any]) -> List[str]:
+    lines: List[str] = []
+    for run, engine in enumerate(engines):
+        snapshot = engine.metrics.snapshot()
+        header = {
+            "record": "engine",
+            "run": run,
+            "sim_time": engine.now,
+            "events_processed": getattr(engine, "events_processed", None),
+            "metrics": len(snapshot),
+        }
+        lines.append(json.dumps(header, sort_keys=True))
+        for rec in snapshot:
+            rec = {"record": "metric", "run": run, **rec}
+            lines.append(json.dumps(rec, sort_keys=True, default=_jsonable))
+    return lines
+
+
+def trace_lines(engines: Iterable[Any]) -> List[str]:
+    lines: List[str] = []
+    for run, engine in enumerate(engines):
+        tracer = getattr(engine, "tracer", None)
+        if tracer is None:
+            continue
+        header = {
+            "record": "tracer",
+            "run": run,
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+            "retained": len(tracer),
+        }
+        lines.append(json.dumps(header, sort_keys=True))
+        for rec in tracer.query():
+            lines.append(
+                json.dumps(
+                    {
+                        "record": "trace",
+                        "run": run,
+                        "time": rec.time,
+                        "category": rec.category,
+                        "message": rec.message,
+                        "fields": {k: _jsonable(v) for k, v in rec.fields.items()},
+                    },
+                    sort_keys=True,
+                )
+            )
+    return lines
+
+
+def _write(path: str, lines: List[str]) -> None:
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+
+
+def write_metrics_jsonl(path: str, engines: Iterable[Any]) -> int:
+    lines = metrics_lines(engines)
+    _write(path, lines)
+    return len(lines)
+
+
+def write_trace_jsonl(path: str, engines: Iterable[Any]) -> int:
+    lines = trace_lines(engines)
+    _write(path, lines)
+    return len(lines)

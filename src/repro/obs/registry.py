@@ -1,0 +1,270 @@
+"""A label-aware metrics registry for the simulation.
+
+Every :class:`~repro.sim.engine.Engine` owns one
+:class:`MetricsRegistry`; instrumented components register counters,
+gauges, and histograms on it instead of growing ad-hoc ``int``
+attributes.  Metrics are keyed by ``(name, sorted(labels))`` so the
+same call site is a get-or-create: two components asking for the same
+name+labels share one metric, and label-partitioned families
+(per-session, per-QP, per-link) fall out of passing different labels.
+
+The numeric API of :class:`CounterMetric` is intentionally identical to
+:class:`repro.sim.monitor.Counter` (``add`` / ``total`` / ``count`` /
+``name``) so existing call sites and tests keep working unchanged when
+a plain Counter attribute is swapped for a registry counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "CallbackGauge",
+    "HistogramMetric",
+]
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Common base: a name plus an immutable label set."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lbl = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"<{type(self).__name__} {self.name}{{{lbl}}}>"
+
+
+class CounterMetric(_Metric):
+    """A monotonically increasing sum plus an event count.
+
+    ``add(amount)`` adds ``amount`` to :attr:`total` and bumps
+    :attr:`count` by one — the same contract as
+    :class:`repro.sim.monitor.Counter`, so byte counters track both the
+    byte total and the number of additions.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        super().__init__(name, labels)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.total += amount
+        self.count += 1
+
+    inc = add
+
+    @property
+    def value(self) -> float:
+        return self.total
+
+
+class GaugeMetric(_Metric):
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Retain the high-water mark of everything ``set_max`` saw."""
+        if value > self.value:
+            self.value = value
+
+    def add(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+
+class CallbackGauge(_Metric):
+    """A gauge whose value is read from a callback at snapshot time.
+
+    Zero hot-path cost: the instrumented component never writes to it;
+    the registry calls ``fn()`` only when a snapshot is taken.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, labels: Dict[str, Any], fn: Callable[[], float]
+    ) -> None:
+        super().__init__(name, labels)
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        try:
+            return float(self._fn())
+        except Exception:
+            return float("nan")
+
+
+class HistogramMetric(_Metric):
+    """Raw-sample histogram with percentile summaries.
+
+    Samples are kept verbatim (simulations are small enough) so
+    percentiles are exact, matching how the paper reports latency.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        super().__init__(name, labels)
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.samples), q))
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {
+                "count": 0,
+                "mean": float("nan"),
+                "p50": float("nan"),
+                "p90": float("nan"),
+                "p99": float("nan"),
+                "max": float("nan"),
+            }
+        arr = np.asarray(self.samples)
+        p50, p90, p99 = (float(v) for v in np.percentile(arr, [50, 90, 99]))
+        return {
+            "count": int(arr.size),
+            "mean": float(arr.mean()),
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
+            "max": float(arr.max()),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], _Metric] = {}
+        self._sequences: Dict[str, int] = {}
+
+    # -- get-or-create constructors -----------------------------------------
+    def _get(self, cls, name: str, labels: Dict[str, Any]) -> _Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{labels!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> CounterMetric:
+        return self._get(CounterMetric, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> GaugeMetric:
+        return self._get(GaugeMetric, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> CallbackGauge:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = CallbackGauge(name, labels, fn)
+            self._metrics[key] = metric
+        elif not isinstance(metric, CallbackGauge):
+            raise TypeError(
+                f"metric {name!r}{labels!r} already registered as "
+                f"{type(metric).__name__}, not CallbackGauge"
+            )
+        return metric
+
+    # -- instance numbering ---------------------------------------------------
+    def sequence(self, name: str) -> int:
+        """Next instance number for ``name`` (0, 1, 2, ...).
+
+        Used to give each component instance a deterministic, unique
+        label (creation order is deterministic in the simulation).
+        """
+        n = self._sequences.get(name, 0)
+        self._sequences[name] = n + 1
+        return n
+
+    # -- removal (pruned sessions etc.) --------------------------------------
+    def remove(self, name: str, **labels: Any) -> bool:
+        """Drop one metric; returns whether it existed."""
+        return self._metrics.pop((name, _label_key(labels)), None) is not None
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def get(self, name: str, **labels: Any) -> Optional[_Metric]:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def family(self, name: str) -> List[_Metric]:
+        """All metrics sharing ``name``, in registration order."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def label_values(self, name: str, label: str) -> Dict[Any, float]:
+        """``{label value -> metric value}`` for one family — the shape
+        the old hand-rolled per-session dicts exposed."""
+        out: Dict[Any, float] = {}
+        for metric in self.family(name):
+            if label in metric.labels:
+                out[metric.labels[label]] = metric.value
+        return out
+
+    # -- snapshots -------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Flatten every metric to a JSON-friendly record."""
+        records: List[Dict[str, Any]] = []
+        for metric in self._metrics.values():
+            rec: Dict[str, Any] = {
+                "metric": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, CounterMetric):
+                rec["value"] = metric.total
+                rec["count"] = metric.count
+            elif isinstance(metric, HistogramMetric):
+                rec["summary"] = metric.summary()
+            else:
+                rec["value"] = metric.value
+            records.append(rec)
+        return records

@@ -10,6 +10,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.obs import runtime as _obs_runtime
+from repro.obs.registry import MetricsRegistry
 from repro.sim.events import Event, StopEngine, Timeout
 from repro.sim.process import Process
 
@@ -34,9 +36,17 @@ class Engine:
         self._heap: List[Tuple[float, int, Event]] = []
         self._eid: int = 0
         self._stopped = False
+        #: Registry every instrumented component on this engine hangs
+        #: its counters/gauges/histograms off.
+        self.metrics = MetricsRegistry()
+        #: Events popped by :meth:`step` — the denominator of the
+        #: engine-throughput (events/sec) benchmark metric.
+        self.events_processed: int = 0
         #: Optional :class:`repro.sim.trace.Tracer`; instrumented
-        #: components emit records when this is set.
-        self.tracer = None
+        #: components emit records when this is set.  The CLI's
+        #: ``--trace-out`` installs a factory that seeds this.
+        self.tracer = _obs_runtime.make_tracer()
+        _obs_runtime.track_engine(self)
 
     def trace(self, category: str, message: str, **fields) -> None:
         """Emit a trace record if a tracer is attached (cheap when not)."""
@@ -79,6 +89,7 @@ class Engine:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         # ``Timeout`` events carry their value from construction; plain

@@ -56,10 +56,17 @@ class Tracer:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.categories = set(categories) if categories is not None else None
-        self.capacity = capacity
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
         self.emitted = 0
+
+    @property
+    def capacity(self) -> int:
+        """Ring size — read from the deque so there is exactly one
+        source of truth and the drop detector can never desync."""
+        maxlen = self._records.maxlen
+        assert maxlen is not None
+        return maxlen
 
     def wants(self, category: str) -> bool:
         return self.categories is None or category in self.categories
@@ -68,7 +75,7 @@ class Tracer:
         """Record one event (no-op if the category is filtered out)."""
         if not self.wants(category):
             return
-        if len(self._records) == self.capacity:
+        if len(self._records) == self._records.maxlen:
             self.dropped += 1
         self._records.append(TraceRecord(time, category, message, fields))
         self.emitted += 1
@@ -93,5 +100,8 @@ class Tracer:
             yield rec
 
     def clear(self) -> None:
+        """Reset the buffer and both lifetime counters, so a tracer
+        reused across runs starts every run from zero."""
         self._records.clear()
         self.dropped = 0
+        self.emitted = 0

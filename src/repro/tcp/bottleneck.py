@@ -13,7 +13,6 @@ from typing import TYPE_CHECKING, Generator, List, Optional, Protocol
 
 import numpy as np
 
-from repro.sim.monitor import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -64,9 +63,16 @@ class Bottleneck:
         self._flows: List[FluidFlow] = []
         self._queue = 0.0
         self._running = False
-        self.bytes_served = Counter("bottleneck.served")
-        self.bytes_dropped = Counter("bottleneck.dropped")
-        self.loss_rounds = 0
+        reg = engine.metrics
+        labels = {"i": reg.sequence("bottleneck")}
+        self.bytes_served = reg.counter("tcp.bottleneck_bytes_served", **labels)
+        self.bytes_dropped = reg.counter("tcp.bottleneck_bytes_dropped", **labels)
+        self._m_loss_rounds = reg.counter("tcp.bottleneck_loss_rounds", **labels)
+        reg.gauge_fn("tcp.bottleneck_queue_bytes", lambda: self._queue, **labels)
+
+    @property
+    def loss_rounds(self) -> int:
+        return int(self._m_loss_rounds.total)
 
     @property
     def queue_bytes(self) -> float:
@@ -117,7 +123,7 @@ class Bottleneck:
 
         dropped = np.zeros(len(flows))
         if overflow > 0.0 and total > 0.0:
-            self.loss_rounds += 1
+            self._m_loss_rounds.add()
             dropped = self._mark_losses(flows, arrivals, overflow)
             self.engine.trace(
                 "tcp", "overflow",

@@ -12,7 +12,6 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Generator, Optional
 
-from repro.sim.monitor import Counter
 from repro.sim.resources import Container
 from repro.tcp.bic import Bic
 from repro.tcp.congestion import CongestionControl, Reno
@@ -94,7 +93,11 @@ class TcpConnection:
         self.bottleneck = bottleneck
         self._sndbuf = Container(engine, capacity=sndbuf)
         self._rcvbuf = Container(engine, capacity=rcvbuf)
-        self.bytes_delivered = Counter("tcp.delivered")
+        reg = engine.metrics
+        labels = {"cc": cc, "i": reg.sequence("tcp_connection")}
+        self.bytes_delivered = reg.counter("tcp.bytes_delivered", **labels)
+        reg.gauge_fn("tcp.losses", lambda: self.cc.losses, **labels)
+        reg.gauge_fn("tcp.cwnd_bytes", lambda: self.cc.cwnd_bytes, **labels)
         self._closed = False
 
         if mode is TcpMode.PIPE:

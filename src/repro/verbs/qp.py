@@ -31,7 +31,7 @@ import enum
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Generator, Optional
 
-from repro.sim.monitor import Counter
+
 from repro.sim.resources import Resource
 from repro.verbs.errors import (
     MtuExceededError,
@@ -112,9 +112,14 @@ class QueuePair:
         self._next_complete = 0
         self._done: Dict[int, Optional[WorkCompletion]] = {}
 
-        self.rnr_naks = Counter(f"qp{qp_num}.rnr_naks")
-        self.ud_drops = Counter(f"qp{qp_num}.ud_drops")
-        self.bytes_sent = Counter(f"qp{qp_num}.bytes_sent")
+        # Registry counters keep the monitor.Counter API (.add/.total/
+        # .count); host + qp_num labels make them unique per endpoint
+        # (qp_num allocation is per device, one device per host here).
+        reg = self.engine.metrics
+        labels = {"host": device.host.name, "qp": qp_num}
+        self.rnr_naks = reg.counter("qp.rnr_naks", **labels)
+        self.ud_drops = reg.counter("qp.ud_drops", **labels)
+        self.bytes_sent = reg.counter("qp.bytes_sent", **labels)
         #: Optional fault hook ``(SendWR) -> bool``: return True to fail
         #: the WR with :data:`WcStatus.SIM_FAULT` after it crosses the
         #: wire (payload is discarded; the QP survives).  Testing only.

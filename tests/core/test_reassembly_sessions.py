@@ -99,3 +99,60 @@ def test_finish_session_counts_discards():
     buf.push(hdr(4, 3), "y")
     assert buf.finish_session(4) == 2
     assert buf.finish_session(4) == 0
+
+
+def test_resume_cursor_reset_discards_stale_and_counts_replays():
+    # SESSION_RESUME interplay: after set_next_seq() jumps the cursor
+    # forward, replayed below-cursor blocks are duplicates — counted and
+    # attributed — and must not recreate parked state.
+    buf = ReassemblyBuffer()
+    buf.push(hdr(7, 0), "b0")
+    buf.push(hdr(7, 1), "b1")
+    buf.push(hdr(7, 5), "early")          # parked out-of-order
+    buf.set_next_seq(7, 4)                # resume from restart marker 4
+    assert buf.pending(7) == 1            # seq 5 survives (>= cursor)
+    assert buf.next_seq(7) == 4
+    # The dead incarnation replays blocks 0-3.
+    for seq in range(4):
+        assert buf.reject_duplicate(hdr(7, seq), f"replay{seq}")
+    assert buf.duplicates == 4
+    assert buf.duplicates_by_session == {7: 4}
+    assert buf.pending(7) == 1            # no parked state resurrected
+    # push() agrees with reject_duplicate() on below-cursor replays.
+    assert buf.push(hdr(7, 2), "replay2") == []
+    assert buf.duplicates_by_session == {7: 5}
+    assert buf.pending(7) == 1
+
+
+def test_cursor_reset_prunes_below_cursor_parked_entries():
+    buf = ReassemblyBuffer()
+    buf.push(hdr(3, 2), "stale2")
+    buf.push(hdr(3, 3), "stale3")
+    buf.push(hdr(3, 8), "keep8")
+    buf.set_next_seq(3, 6)
+    assert buf.pending(3) == 1
+    released = buf.push(hdr(3, 6), "b6")
+    assert [p for _, p in released] == ["b6"]
+    assert buf.next_seq(3) == 7
+
+
+def test_replay_against_reclaimed_session_leaves_no_state():
+    # A pruned session must not be resurrected by late replays: the
+    # duplicate is counted (aggregate + per-session) but no parked dict
+    # or cursor entry may reappear, or sink GC leaks bounded-state.
+    buf = ReassemblyBuffer()
+    buf.push(hdr(9, 0), "b0")
+    buf.push(hdr(9, 2), "stranded")
+    buf.reclaim_session(9)
+    assert buf.sessions() == []
+    assert buf.duplicates_by_session == {}
+    buf.set_next_seq(9, 3)                # resume re-attaches the session
+    assert buf.push(hdr(9, 1), "latereplay") == []
+    assert buf.duplicates_by_session == {9: 1}
+    assert buf.sessions_with_parked() == []
+    assert buf.sessions() == [9]
+    # Reclaim again: the per-session duplicate attribution is pruned but
+    # the aggregate chaos-audit counter survives.
+    buf.reclaim_session(9)
+    assert buf.duplicates_by_session == {}
+    assert buf.duplicates == 1

@@ -1,0 +1,116 @@
+"""JSONL export + runtime collection, including the acceptance check
+that a chaos run's registry snapshot covers the pool, credit, reassembly,
+and per-QP channel counters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.export import metrics_lines, trace_lines, write_metrics_jsonl, write_trace_jsonl
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    runtime.stop_collection()
+    runtime.install_tracer_factory(None)
+
+
+def test_collection_window_tracks_engines_in_order():
+    before = Engine()
+    runtime.start_collection()
+    first, second = Engine(), Engine()
+    runtime.stop_collection()
+    after = Engine()
+    assert before is not None and after is not None
+    # stop_collection released the engines; a new window starts empty.
+    assert runtime.collected_engines() == []
+    runtime.start_collection()
+    third = Engine()
+    assert runtime.collected_engines() == [third]
+    assert first is not second
+
+
+def test_collection_holds_engines_after_caller_drops_them():
+    # Sweep commands (ablations) discard each testbed as soon as its run
+    # finishes; the exporter must still see every engine.
+    runtime.start_collection()
+    for _ in range(3):
+        Engine()
+    assert len(runtime.collected_engines()) == 3
+
+
+def test_tracer_factory_attaches_to_new_engines():
+    assert Engine().tracer is None
+    runtime.install_tracer_factory(lambda: Tracer(categories={"qp"}))
+    engine = Engine()
+    assert isinstance(engine.tracer, Tracer)
+    assert engine.tracer.categories == {"qp"}
+    runtime.install_tracer_factory(None)
+    assert Engine().tracer is None
+
+
+def test_metrics_lines_round_trip(tmp_path):
+    e1, e2 = Engine(), Engine()
+    e1.metrics.counter("c", i=0).add(5)
+    e2.metrics.gauge("g").set(1.5)
+    lines = [json.loads(l) for l in metrics_lines([e1, e2])]
+    headers = [r for r in lines if r["record"] == "engine"]
+    metrics = [r for r in lines if r["record"] == "metric"]
+    assert [h["run"] for h in headers] == [0, 1]
+    assert headers[0]["metrics"] == 1
+    assert metrics[0] == {
+        "record": "metric", "run": 0, "metric": "c", "kind": "counter",
+        "labels": {"i": 0}, "value": 5.0, "count": 1,
+    }
+    path = tmp_path / "m.jsonl"
+    n = write_metrics_jsonl(str(path), [e1, e2])
+    assert n == 4
+    assert len(path.read_text().splitlines()) == 4
+
+
+def test_trace_lines_skip_tracerless_and_coerce_fields(tmp_path):
+    plain = Engine()
+    traced = Engine()
+    traced.tracer = Tracer()
+    traced.trace("qp", "send", nbytes=4096, obj=object())
+    lines = [json.loads(l) for l in trace_lines([plain, traced])]
+    assert [r["record"] for r in lines] == ["tracer", "trace"]
+    assert lines[0]["run"] == 1 and lines[0]["emitted"] == 1
+    rec = lines[1]
+    assert rec["category"] == "qp" and rec["fields"]["nbytes"] == 4096
+    assert isinstance(rec["fields"]["obj"], str)
+    path = tmp_path / "t.jsonl"
+    assert write_trace_jsonl(str(path), [plain, traced]) == 2
+
+
+def test_chaos_snapshot_covers_all_subsystems():
+    from repro.faults import FaultPlan, run_chaos
+
+    runtime.start_collection()
+    result = run_chaos(
+        "roce-lan",
+        total_bytes=32 * 1024 * 1024,
+        plan=FaultPlan(seed=3, write_fault_rate=0.05),
+    )
+    engines = runtime.collected_engines()
+    runtime.stop_collection()
+    assert result.completed
+    assert len(engines) == 1
+    names = {rec["metric"] for rec in engines[0].metrics.snapshot()}
+    # pool, credits, reassembly, and per-QP channel counters — the
+    # acceptance surface for `chaos --metrics-out`.
+    assert {"pool.blocks", "pool.free_blocks", "pool.block_returns"} <= names
+    assert {"credits.granted_total", "credits.received_total",
+            "credits.balance"} <= names
+    assert {"reassembly.duplicates", "reassembly.parked"} <= names
+    assert "data.qp_blocks_posted" in names
+    assert {"qp.bytes_sent", "qp.rnr_naks"} <= names
+    # Faults actually drove the resend counter family.
+    per_qp = engines[0].metrics.family("data.qp_blocks_posted")
+    assert sum(m.total for m in per_qp) > 0

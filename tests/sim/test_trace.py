@@ -74,3 +74,30 @@ def test_transfer_emits_protocol_trace():
     # Records are chronological.
     times = [r.time for r in tracer.query()]
     assert times == sorted(times)
+
+
+def test_clear_resets_drop_and_emit_accounting():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.emit(float(i), "c", f"m{i}")
+    assert (tracer.emitted, tracer.dropped) == (5, 3)
+    tracer.clear()
+    assert len(tracer) == 0
+    # A cleared tracer must look factory-fresh: stale `emitted` (or
+    # `dropped`) made per-phase accounting double-count earlier phases.
+    assert (tracer.emitted, tracer.dropped) == (0, 0)
+    tracer.emit(9.0, "c", "after")
+    assert (tracer.emitted, tracer.dropped) == (1, 0)
+
+
+def test_capacity_has_a_single_source_of_truth():
+    tracer = Tracer(capacity=4)
+    assert tracer.capacity == 4 == tracer._records.maxlen
+    # `capacity` is a read-only view of the deque bound, so the drop
+    # detector can never disagree with the ring's actual size.
+    with pytest.raises(AttributeError):
+        tracer.capacity = 8
+    for i in range(6):
+        tracer.emit(float(i), "c", f"m{i}")
+    assert len(tracer) == tracer.capacity == 4
+    assert tracer.dropped == 2

@@ -99,3 +99,90 @@ def test_chaos_command_typed_abort_is_clean(capsys):
     out = capsys.readouterr().out
     assert "aborted with" in out
     assert "verdict: clean" in out
+
+
+def test_rftp_metrics_and_trace_export(tmp_path, capsys):
+    import json
+
+    mpath, tpath = tmp_path / "m.jsonl", tmp_path / "t.jsonl"
+    rc = main([
+        "rftp", "--bytes", "32M",
+        "--metrics-out", str(mpath),
+        "--trace-out", str(tpath), "--trace-categories", "ctrl,credits",
+    ])
+    assert rc == 0
+    mlines = [json.loads(l) for l in mpath.read_text().splitlines()]
+    assert mlines[0]["record"] == "engine" and mlines[0]["run"] == 0
+    assert mlines[0]["events_processed"] > 0
+    names = {r["metric"] for r in mlines if r["record"] == "metric"}
+    assert {"pool.blocks", "credits.granted_total", "reassembly.duplicates",
+            "qp.bytes_sent", "source.blocks_completed"} <= names
+    tlines = [json.loads(l) for l in tpath.read_text().splitlines()]
+    assert tlines[0]["record"] == "tracer" and tlines[0]["emitted"] > 0
+    cats = {r["category"] for r in tlines if r["record"] == "trace"}
+    assert cats and cats <= {"ctrl", "credits"}
+
+
+def test_chaos_metrics_export_covers_subsystems(tmp_path, capsys):
+    import json
+
+    mpath = tmp_path / "chaos.jsonl"
+    rc = main([
+        "chaos", "--bytes", "32M", "--write-fault-rate", "0.02",
+        "--metrics-out", str(mpath),
+    ])
+    assert rc == 0
+    names = {
+        r["metric"]
+        for r in map(json.loads, mpath.read_text().splitlines())
+        if r["record"] == "metric"
+    }
+    assert {"pool.free_blocks", "credits.balance", "reassembly.parked",
+            "data.qp_blocks_posted"} <= names
+
+
+def test_export_collection_window_is_reset(tmp_path, capsys):
+    from repro.obs import runtime
+
+    rc = main(["rftp", "--bytes", "32M",
+               "--metrics-out", str(tmp_path / "m.jsonl")])
+    assert rc == 0
+    assert not runtime.collecting()
+    assert runtime.collected_engines() == []
+    assert runtime.make_tracer() is None
+
+
+def test_bench_quick_single_case(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_test.json"
+    rc = main(["bench", "--quick", "--only", "fio_write_roce",
+               "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["kind"] == "repro-bench" and doc["mode"] == "quick"
+    assert list(doc["results"]) == ["fio_write_roce"]
+    assert "fio_write_roce" in capsys.readouterr().out
+
+
+def test_bench_compare_gates_regression(tmp_path, capsys):
+    import copy
+    import json
+
+    base = {
+        "schema": 1, "kind": "repro-bench", "date": "2026-08-05",
+        "mode": "quick",
+        "results": {"c": {"gbps": 10.0, "p50_us": 1.0, "p99_us": 2.0,
+                          "events_per_sec": 1.0, "sim_time": 1.0,
+                          "events": 1}},
+    }
+    cur = copy.deepcopy(base)
+    cur["results"]["c"]["gbps"] = 8.0  # -20%
+    bp, cp = tmp_path / "b.json", tmp_path / "c.json"
+    bp.write_text(json.dumps(base))
+    cp.write_text(json.dumps(cur))
+    assert main(["bench-compare", str(bp), str(cp)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    assert main(["bench-compare", str(bp), str(bp)]) == 0
+    assert main(["bench-compare", str(bp), str(cp),
+                 "--tolerance", "0.25"]) == 0

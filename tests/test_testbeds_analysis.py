@@ -134,3 +134,19 @@ def test_series():
     assert s.y_at(128) == pytest.approx(39.9)
     assert s.y_at(999) is None
     assert "rftp" in s.render()
+
+
+def test_formatters_render_nan_and_none_as_dash():
+    import math
+
+    from repro.analysis.report import format_gbps, format_pct
+
+    # GridFTP latency summaries are NaN (no per-block samples); cells
+    # must render as an em-dash, never "nan" or a ValueError.
+    assert format_gbps(float("nan")).strip() == "—"
+    assert format_pct(float("nan")).strip() == "—"
+    assert format_gbps(None).strip() == "—"
+    assert format_pct(None).strip() == "—"
+    assert len(format_gbps(math.nan)) == len(format_gbps(1.0)) == 7
+    assert format_gbps(12.345) == "  12.35"
+    assert format_pct(42.0) == "  42.0%"
