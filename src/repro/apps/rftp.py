@@ -61,9 +61,18 @@ class RftpClient:
 
     def put(self, total_bytes: int, port: int = 2811):
         """Process event resolving to a
-        :class:`~repro.core.middleware.TransferOutcome`."""
+        :class:`~repro.core.middleware.TransferOutcome`.
+
+        The testbed's TCP connector rides along as the degraded-mode
+        transport: a put that loses every data channel falls back to a
+        TCP stream through the same fabric instead of aborting.
+        """
         return self.middleware.transfer(
-            self.testbed.dst_dev, port, self.source, total_bytes
+            self.testbed.dst_dev,
+            port,
+            self.source,
+            total_bytes,
+            tcp_factory=self.testbed.tcp_connection,
         )
 
     def put_resumable(
@@ -90,7 +99,10 @@ class RftpClient:
 
         def _run():
             link = yield mw.open_link(
-                testbed.dst_dev, port, fault_injector=fault_injector
+                testbed.dst_dev,
+                port,
+                fault_injector=fault_injector,
+                tcp_factory=testbed.tcp_connection,
             )
             try:
                 return (
@@ -137,7 +149,9 @@ class RftpClient:
         testbed = self.testbed
 
         def _run():
-            link = yield mw.open_link(testbed.dst_dev, port)
+            link = yield mw.open_link(
+                testbed.dst_dev, port, tcp_factory=testbed.tcp_connection
+            )
             events = []
             if concurrent:
                 events = [

@@ -218,10 +218,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             (float(kill.split(":", 1)[0]), int(kill.split(":", 1)[1]))
             for kill in args.qp_kill
         ),
+        heartbeat_drop_rate=args.heartbeat_drop_rate,
+        fallback_deny=args.deny_fallback,
     )
     config = None
+    overrides = {}
     if args.no_repair:
-        config = ProtocolConfig(block_repair=False)
+        overrides["block_repair"] = False
+    if args.no_fallback:
+        overrides["tcp_fallback"] = False
+    if args.no_repromote:
+        overrides["fallback_repromote"] = False
+    if overrides:
+        config = ProtocolConfig(**overrides)
     result = run_chaos(
         args.testbed,
         total_bytes=parse_size(args.bytes),
@@ -255,6 +264,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"{result.resume_attempts_used} resume attempts "
           f"(final incarnation from block {result.resumed_from}), "
           f"{int(result.data_bytes_sent)} data bytes on the wire")
+    print(f"degraded: {result.fallbacks} TCP fallbacks carrying "
+          f"{result.fallback_blocks} blocks, {result.repromotions} repromotions, "
+          f"{result.breaker_trips} breaker trips, "
+          f"{result.heartbeat_drops} heartbeats dropped, "
+          f"{result.fallback_denials} fallbacks denied")
     if result.leaks:
         print("LEAKS:")
         for leak in result.leaks:
@@ -391,6 +405,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait before each resume attempt")
     p.add_argument("--no-repair", action="store_true",
                    help="ablation: disable checksum-NACK block repair")
+    p.add_argument("--heartbeat-drop-rate", type=float, default=0.0,
+                   help="probability a PING/PONG is lost after posting")
+    p.add_argument("--deny-fallback", action="store_true",
+                   help="sink denies every TRANSPORT_FALLBACK_REQ")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="ablation: source never attempts the TCP fallback")
+    p.add_argument("--no-repromote", action="store_true",
+                   help="ablation: a degraded session stays on TCP")
     p.add_argument("--horizon", type=float, default=300.0,
                    help="sim-time bound for hang detection")
     _add_export_args(p)

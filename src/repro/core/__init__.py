@@ -28,9 +28,17 @@ from repro.core.errors import (
     EndpointCrashed,
     MarkerTimeout,
     NegotiationTimeout,
+    PeerDead,
     ResendLimitExceeded,
     StaleSessionReclaimed,
     TransferError,
+    TransportFallbackFailed,
+)
+from repro.core.health import (
+    BreakerState,
+    ChannelBreaker,
+    HealthMonitor,
+    RttEstimator,
 )
 from repro.core.messages import (
     BlockHeader,
@@ -49,7 +57,9 @@ __all__ = [
     "AckTimeout",
     "BlockHeader",
     "BlockPool",
+    "BreakerState",
     "CTRL_MSG_BYTES",
+    "ChannelBreaker",
     "ControlMessage",
     "Credit",
     "CreditGranter",
@@ -58,11 +68,15 @@ __all__ = [
     "CtrlType",
     "DataChannelsLost",
     "EndpointCrashed",
+    "HealthMonitor",
     "MarkerTimeout",
     "NegotiationTimeout",
+    "PeerDead",
     "ResendLimitExceeded",
+    "RttEstimator",
     "StaleSessionReclaimed",
     "TransferError",
+    "TransportFallbackFailed",
     "HEADER_BYTES",
     "ProtocolConfig",
     "RdmaMiddleware",

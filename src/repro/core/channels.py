@@ -151,6 +151,13 @@ class DataChannels:
         reg.gauge_fn("data.alive_qps", lambda: self.alive_count, i=self._idx)
         #: QPs removed from the rotation after entering ERROR (failover).
         self.dead: List["QueuePair"] = []
+        #: Optional circuit-breaker lookup ``qp_num -> ChannelBreaker``;
+        #: when set, :meth:`_pick` skips quarantined (OPEN) channels.  A
+        #: QP that is RTS but quarantined does NOT count as lost: if the
+        #: breakers would reject every live QP, the least-recently
+        #: tripped one is force-admitted instead, so NoLiveChannelError
+        #: keeps its exact meaning (no RTS QP at all).
+        self.breaker_lookup = None
 
     # -- backwards-compat stat views ------------------------------------------
     @property
@@ -197,18 +204,38 @@ class DataChannels:
     def _pick(self) -> "QueuePair":
         """Least-loaded live QP, round-robin tie-break.
 
-        Raises :class:`NoLiveChannelError` when every QP is dead."""
+        Honours the circuit breakers when wired (quarantined channels
+        are skipped while an admissible one exists).  Raises
+        :class:`NoLiveChannelError` when every QP is dead."""
         best: Optional["QueuePair"] = None
+        fallback: Optional["QueuePair"] = None  # live but quarantined
+        fallback_until = float("inf")
+        now = self.engine.now
         n = len(self.qps)
         for i in range(n):
             qp = self.qps[(self._rr + i) % n]
             if qp.state is not QpState.RTS:
                 continue
+            breaker = (
+                self.breaker_lookup(qp.qp_num)
+                if self.breaker_lookup is not None
+                else None
+            )
+            if breaker is not None and not breaker.peek_admit(now):
+                if breaker.open_until < fallback_until:
+                    fallback, fallback_until = qp, breaker.open_until
+                continue
             if best is None or qp.send_outstanding < best.send_outstanding:
                 best = qp
         self._rr = (self._rr + 1) % n
         if best is None:
+            best = fallback  # all live QPs quarantined: force-admit one
+        if best is None:
             raise NoLiveChannelError("all data QPs are in ERROR state")
+        if self.breaker_lookup is not None:
+            breaker = self.breaker_lookup(best.qp_num)
+            if breaker is not None:
+                breaker.note_post(now)
         return best
 
     def post_write(

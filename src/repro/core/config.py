@@ -43,9 +43,19 @@ class ProtocolConfig:
     ctrl_recv_depth: int = 128
     #: Base timeout for control-plane request/reply exchanges (negotiation,
     #: MR_INFO_REQ when starved, DATASET_DONE_ACK).  Doubled per retry.
+    #: Once the RTT estimator has samples it replaces this as the per-
+    #: attempt base; before any sample, adaptive paths degrade to it.
     ctrl_timeout: float = 0.25
     #: Multiplier applied to ctrl_timeout after each failed attempt.
     ctrl_backoff: float = 2.0
+    #: Ceiling on any single control-plane timeout step: the exponential
+    #: backoff (previously unbounded) and the adaptive RTO both clamp
+    #: here.  The default equals ctrl_timeout * ctrl_backoff^ctrl_retries
+    #: with the stock knobs, so default behaviour is unchanged.
+    ctrl_timeout_max: float = 8.0
+    #: Floor under the adaptive RTO, so a µs-RTT LAN estimate can never
+    #: collapse a timeout below the scheduler/processing noise floor.
+    ctrl_timeout_min: float = 100e-6
     #: Retries (beyond the first attempt) before a control exchange aborts
     #: the session with a typed error.
     ctrl_retries: int = 5
@@ -69,6 +79,36 @@ class ProtocolConfig:
     marker_interval_blocks: int = 4
     #: Accept SESSION_RESUME_REQ re-attachments at the sink.
     session_resume: bool = True
+    #: Control-channel PING/PONG liveness probes on both engines, so an
+    #: idle peer's death is detected in bounded time instead of at the
+    #: next request.
+    heartbeats: bool = True
+    #: Clamp band for the adaptive heartbeat cadence.
+    heartbeat_interval_min: float = 0.05
+    heartbeat_interval_max: float = 2.0
+    #: Heartbeat cadence in RTOs (clamped to the band above).
+    heartbeat_rto_multiplier: float = 8.0
+    #: Consecutive unanswered heartbeat intervals tolerated before the
+    #: peer is declared dead (typed PeerDead abort / sink reclaim).
+    heartbeat_misses: int = 3
+    #: Consecutive completion errors that trip a data channel's circuit
+    #: breaker OPEN (quarantined from the send rotation).
+    breaker_failures: int = 3
+    #: Floor on the breaker's quarantine cooldown, seconds.
+    breaker_cooldown_min: float = 0.1
+    #: Adaptive cooldown in RTOs (the larger of this and the floor wins).
+    breaker_rto_multiplier: float = 8.0
+    #: Sink-side idle GC patience in RTOs; the configured
+    #: session_idle_timeout stays the floor, so on a long path sessions
+    #: are reclaimed later, never sooner.
+    idle_rto_multiplier: float = 64.0
+    #: Degrade to a TCP connection through the same fabric when every
+    #: data channel is dead (instead of the DataChannelsLost abort),
+    #: resuming from the restart marker with checksums still verified.
+    tcp_fallback: bool = True
+    #: While degraded, periodically try to re-establish a data channel
+    #: and promote the session back to RDMA (half-open probe WRITE).
+    fallback_repromote: bool = True
 
     def __post_init__(self) -> None:
         if self.block_size < 4096:
@@ -99,3 +139,25 @@ class ProtocolConfig:
             raise ValueError("block_repair requires checksum_blocks")
         if self.marker_interval_blocks < 1:
             raise ValueError("marker_interval_blocks must be >= 1")
+        if self.ctrl_timeout_max < self.ctrl_timeout:
+            raise ValueError("ctrl_timeout_max must be >= ctrl_timeout")
+        if not 0 < self.ctrl_timeout_min <= self.ctrl_timeout:
+            raise ValueError("need 0 < ctrl_timeout_min <= ctrl_timeout")
+        if self.heartbeat_interval_min <= 0:
+            raise ValueError("heartbeat_interval_min must be positive")
+        if self.heartbeat_interval_max < self.heartbeat_interval_min:
+            raise ValueError(
+                "heartbeat_interval_max must be >= heartbeat_interval_min"
+            )
+        if self.heartbeat_rto_multiplier <= 0:
+            raise ValueError("heartbeat_rto_multiplier must be positive")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_cooldown_min <= 0:
+            raise ValueError("breaker_cooldown_min must be positive")
+        if self.breaker_rto_multiplier <= 0:
+            raise ValueError("breaker_rto_multiplier must be positive")
+        if self.idle_rto_multiplier <= 0:
+            raise ValueError("idle_rto_multiplier must be positive")

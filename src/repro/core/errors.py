@@ -17,6 +17,8 @@ __all__ = [
     "EndpointCrashed",
     "DataChannelsLost",
     "MarkerTimeout",
+    "PeerDead",
+    "TransportFallbackFailed",
 ]
 
 
@@ -70,3 +72,15 @@ class DataChannelsLost(TransferError):
     """Every data-channel queue pair died; with no surviving channel to
     redistribute in-flight blocks onto, the session cannot degrade
     further and aborts."""
+
+
+class PeerDead(TransferError):
+    """The heartbeat monitor declared the peer dead: a budget of
+    consecutive PINGs went unanswered with nothing else inbound.
+    Resumable via SESSION_RESUME once the peer returns."""
+
+
+class TransportFallbackFailed(TransferError):
+    """The TCP degradation path could not save the session: the sink
+    denied TRANSPORT_FALLBACK, no TCP factory is wired on the link, or
+    the fallback stream stalled with zero progress."""

@@ -55,6 +55,17 @@ class CtrlType(enum.Enum):
     # and transfer only the missing suffix.
     SESSION_RESUME_REQ = "session_resume_req"
     SESSION_RESUME_REP = "session_resume_rep"
+    # Liveness: link-level (session_id 0) heartbeat probes on an adaptive
+    # cadence, so an idle peer's death is detected in bounded time.
+    PING = "ping"
+    PONG = "pong"
+    # Graceful degradation: negotiate a TCP fallback stream through the
+    # same fabric when every data channel is dead, and the reverse
+    # promotion back to RDMA once a channel is re-established.
+    TRANSPORT_FALLBACK_REQ = "transport_fallback_req"
+    TRANSPORT_FALLBACK_REP = "transport_fallback_rep"
+    TRANSPORT_RESTORE_REQ = "transport_restore_req"
+    TRANSPORT_RESTORE_REP = "transport_restore_rep"
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,12 @@ class TransferOutcome:
     #: First block this incarnation actually sent (non-zero only for
     #: resumed sessions: everything below came from a prior incarnation).
     resumed_from: int = 0
+    #: Times the session degraded to the TCP fallback path.
+    fallbacks: int = 0
+    #: Blocks the TCP fallback carried.
+    fallback_blocks: int = 0
+    #: Times the session was promoted back to RDMA mid-transfer.
+    repromotions: int = 0
 
     @property
     def gbps(self) -> float:
@@ -137,6 +143,7 @@ class RdmaMiddleware:
         port: int,
         config: Optional[ProtocolConfig] = None,
         fault_injector: Any = None,
+        tcp_factory: Any = None,
     ):
         """Process event resolving to a :class:`SourceLink`.
 
@@ -145,6 +152,12 @@ class RdmaMiddleware:
         source block pool.  Any number of concurrent or sequential
         sessions can then run over the link via
         :meth:`SourceLink.transfer`.
+
+        ``tcp_factory`` (optional): zero-arg callable returning a
+        connected :class:`~repro.tcp.connection.TcpConnection` through
+        the same fabric (e.g. ``testbed.tcp_connection``).  When wired,
+        a session that loses every data channel degrades to the TCP
+        fallback path instead of aborting.
         """
         cfg = config or self.config
         client_id = next(_client_ids)
@@ -190,6 +203,8 @@ class RdmaMiddleware:
             link._data_qps = data_qps
             link._client_id = client_id  # for reopen_channel
             link._fault_injector = fault_injector
+            link.tcp_factory = tcp_factory
+            link._reopen = lambda: self.reopen_channel(link, remote, port, cfg)
             return link
 
         return self.engine.process(_open())
@@ -203,6 +218,7 @@ class RdmaMiddleware:
         config: Optional[ProtocolConfig] = None,
         fault_injector: Any = None,
         link: Optional[SourceLink] = None,
+        tcp_factory: Any = None,
     ):
         """Process event resolving to a :class:`TransferOutcome`.
 
@@ -220,7 +236,7 @@ class RdmaMiddleware:
             the_link = link
             if the_link is None:
                 the_link = yield self.open_link(
-                    remote, port, config, fault_injector
+                    remote, port, config, fault_injector, tcp_factory
                 )
             mr_reqs_before = the_link.mr_requests_sent
             job = yield the_link.transfer(data_source, total_bytes, session_id)
@@ -239,6 +255,9 @@ class RdmaMiddleware:
                 + the_link._ctrl_qp.rnr_naks.count,
                 ctrl_retries=job.ctrl_retries,
                 repairs=job.repairs,
+                fallbacks=job.fallbacks,
+                fallback_blocks=job.fallback_blocks,
+                repromotions=job.repromotions,
             )
 
         return self.engine.process(_run())
@@ -253,6 +272,7 @@ class RdmaMiddleware:
         config: Optional[ProtocolConfig] = None,
         fault_injector: Any = None,
         link: Optional[SourceLink] = None,
+        tcp_factory: Any = None,
     ):
         """Process event resolving to a :class:`TransferOutcome` for a
         *resumed* session.
@@ -268,7 +288,9 @@ class RdmaMiddleware:
         def _run() -> Generator:
             the_link = link
             if the_link is None:
-                the_link = yield self.open_link(remote, port, config, fault_injector)
+                the_link = yield self.open_link(
+                    remote, port, config, fault_injector, tcp_factory
+                )
             mr_reqs_before = the_link.mr_requests_sent
             job = yield the_link.resume(data_source, total_bytes, session_id)
             assert job.started_at is not None and job.finished_at is not None
@@ -287,6 +309,9 @@ class RdmaMiddleware:
                 ctrl_retries=job.ctrl_retries,
                 repairs=job.repairs,
                 resumed_from=job.start_seq,
+                fallbacks=job.fallbacks,
+                fallback_blocks=job.fallback_blocks,
+                repromotions=job.repromotions,
             )
 
         return self.engine.process(_run())

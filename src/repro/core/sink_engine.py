@@ -27,13 +27,9 @@ from repro.core.blocks import SinkBlock, SinkBlockState
 from repro.core.channels import ControlChannel
 from repro.core.config import ProtocolConfig
 from repro.core.credits import Credit, CreditGranter
-from repro.core.errors import EndpointCrashed, StaleSessionReclaimed
-from repro.core.messages import (
-    BlockHeader,
-    ControlMessage,
-    CtrlType,
-    block_checksum,
-)
+from repro.core.errors import EndpointCrashed, PeerDead, StaleSessionReclaimed
+from repro.core.health import HealthMonitor
+from repro.core.messages import ControlMessage, CtrlType, block_checksum
 from repro.core.pool import BlockPool
 from repro.core.reassembly import ReassemblyBuffer
 from repro.sim.events import Event
@@ -123,6 +119,37 @@ class SinkEngine:
         #: session id -> (marker, credits) of the last SESSION_RESUME_REP,
         #: so a retransmitted resume request is answered idempotently.
         self._resume_grants: Dict[int, tuple] = {}
+        # -- adaptive health / degraded-mode state -------------------------------------
+        #: Peer liveness + RTT estimation (samples come from the PONGs to
+        #: our own idle-time PINGs; the sink is otherwise a pure responder).
+        self.health = HealthMonitor(self.engine, config)
+        #: Optional zero-arg hook consulted on TRANSPORT_FALLBACK_REQ;
+        #: returning True denies the fallback (fault injection).
+        self.fallback_deny_hook = None
+        #: session id -> live TcpBlockStream carrying the degraded session.
+        self._fallback_streams: Dict[int, Any] = {}
+        #: session id -> next expected seq recorded when the TCP consumer
+        #: hit the EOF sentinel (the TRANSPORT_RESTORE anchor).
+        self._fallback_done: Dict[int, int] = {}
+        #: session id -> resume_seq of the accepted fallback, for
+        #: idempotent replies to retransmitted TRANSPORT_FALLBACK_REQs.
+        self._fallback_resume_seq: Dict[int, int] = {}
+        #: session id -> (seq, credits) of the last ready
+        #: TRANSPORT_RESTORE_REP, answered idempotently like resumes.
+        self._restore_grants: Dict[int, tuple] = {}
+        #: session id -> generation of the consumed-bytes accounting.
+        #: Bumped whenever ``_consumed_bytes`` is re-anchored to the
+        #: marker (fallback accept, resume, reclaim): a writer thread
+        #: whose ``data_sink.write`` straddled the re-anchor must NOT
+        #: apply its accounting — its block sits below the new marker
+        #: and will be re-delivered, so counting it twice would retire
+        #: the session one block early.
+        self._accounting_epoch: Dict[int, int] = {}
+        self._last_ping_at = float("-inf")
+        self._m_pings = reg.counter("sink.pings", **labels)
+        self._m_peer_dead = reg.counter("sink.peer_dead", **labels)
+        self._m_fallback_sessions = reg.counter("sink.fallback_sessions", **labels)
+        self._m_fallback_blocks = reg.counter("sink.fallback_blocks", **labels)
 
     # -- backwards-compat stat views ------------------------------------------
     @property
@@ -157,6 +184,14 @@ class SinkEngine:
     def crashes(self) -> int:
         return int(self._m_crashes.total)
 
+    @property
+    def fallback_sessions(self) -> int:
+        return int(self._m_fallback_sessions.total)
+
+    @property
+    def fallback_blocks(self) -> int:
+        return int(self._m_fallback_blocks.total)
+
     # -- public -----------------------------------------------------------------
     def start(self) -> None:
         """Launch the control-handling thread."""
@@ -174,6 +209,7 @@ class SinkEngine:
         while True:
             msgs = yield from self.ctrl.receive(thread)
             for msg in msgs:
+                self.health.heard()
                 if msg.session_id in self._expected_bytes:
                     self._last_activity[msg.session_id] = self.engine.now
                 yield from self._dispatch(thread, msg)
@@ -249,6 +285,18 @@ class SinkEngine:
                     yield from self._send_credits(thread, msg.session_id, granted)
             else:
                 self._m_stray.add()
+        elif msg.type is CtrlType.PING:
+            # Link-level liveness (session id 0): echo the nonce so the
+            # peer's estimator gets an unambiguous sample.
+            yield from self.ctrl.send(
+                thread, ControlMessage(CtrlType.PONG, msg.session_id, msg.data)
+            )
+        elif msg.type is CtrlType.PONG:
+            self.health.on_pong(msg.data)
+        elif msg.type is CtrlType.TRANSPORT_FALLBACK_REQ:
+            yield from self._on_transport_fallback(thread, msg)
+        elif msg.type is CtrlType.TRANSPORT_RESTORE_REQ:
+            yield from self._on_transport_restore(thread, msg)
         elif msg.type is CtrlType.SESSION_RESUME_REQ:
             yield from self._on_session_resume(thread, msg)
         elif msg.type is CtrlType.DATASET_DONE:
@@ -381,6 +429,7 @@ class SinkEngine:
         # Accounting restarts at the marker: bytes consumed beyond it may
         # be re-delivered (overlap) and must count exactly once.
         self._consumed_bytes[sid] = min(marker * bs, total)
+        self._accounting_epoch[sid] = self._accounting_epoch.get(sid, 0) + 1
         self._dataset_done_total.pop(sid, None)
         self._last_activity[sid] = self.engine.now
         self.session_done[sid] = Event(self.engine)
@@ -388,6 +437,12 @@ class SinkEngine:
         self._marker_pending.pop(sid, None)
         self._marker_sent[sid] = marker
         self.reassembly.set_next_seq(sid, marker)
+        # A resume supersedes any degraded-mode stream of a dead
+        # incarnation; dropping the registration stops its consumer.
+        self._fallback_streams.pop(sid, None)
+        self._fallback_done.pop(sid, None)
+        self._fallback_resume_seq.pop(sid, None)
+        self._restore_grants.pop(sid, None)
         if not self._consumers_started:
             self._consumers_started = True
             for i in range(self.config.writer_threads):
@@ -410,6 +465,226 @@ class SinkEngine:
         yield from self.ctrl.send(
             thread,
             ControlMessage(CtrlType.SESSION_RESUME_REP, sid, (True, marker, initial)),
+        )
+
+    # -- degraded mode: TCP fallback ---------------------------------------------------
+    def _on_transport_fallback(self, thread, msg: ControlMessage) -> Generator:
+        """TRANSPORT_FALLBACK_REQ: carry the session on over TCP.
+
+        ``msg.data`` is ``(total_bytes, stream)``.  The reply is
+        ``(accepted, resume_seq)``: the source re-sends every block from
+        ``resume_seq`` on over the stream — same restart-marker anchor as
+        a SESSION_RESUME, so nothing below the contiguous-written prefix
+        crosses the wire twice.  All RDMA credits of the session die here
+        (the data QPs are gone); WAITING regions are revoked like on a
+        resume.
+        """
+        sid = msg.session_id
+        total, stream = msg.data
+        deny = (
+            not self.config.tcp_fallback
+            or self.pool is None
+            or (self.fallback_deny_hook is not None and self.fallback_deny_hook())
+        )
+        if deny:
+            self.engine.trace("sink", "fallback_denied", session=sid)
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.TRANSPORT_FALLBACK_REP, sid, (False, 0)),
+            )
+            return
+        bs = self.pool.block_size
+        if sid in self._acked:
+            nblocks = (self._acked[sid] + bs - 1) // bs
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.TRANSPORT_FALLBACK_REP, sid, (True, nblocks)),
+            )
+            return
+        if self._fallback_streams.get(sid) is stream:
+            # Retransmitted request for the stream we already consume:
+            # answer identically, the consumer thread is already running.
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(
+                    CtrlType.TRANSPORT_FALLBACK_REP,
+                    sid,
+                    (True, self._fallback_resume_seq[sid]),
+                ),
+            )
+            return
+        marker = self._marker_upto.get(sid, 0)
+        self._m_fallback_sessions.add()
+        self.engine.trace("sink", "transport_fallback", session=sid, marker=marker)
+        if sid in self._expected_bytes:
+            # Un-consumed RDMA arrivals above the marker will be re-sent
+            # over the stream; free them now.
+            self._drop_unconsumed(sid)
+        done = self.session_done.get(sid)
+        if done is None or done.triggered:
+            # Unlike a resume this is the *same* session incarnation
+            # degrading transports — keep a live done-event if one exists
+            # (the GC may have failed it if the session was reclaimed).
+            self.session_done[sid] = Event(self.engine)
+        self._expected_bytes[sid] = total
+        self._consumed_bytes[sid] = min(marker * bs, total)
+        self._accounting_epoch[sid] = self._accounting_epoch.get(sid, 0) + 1
+        self._dataset_done_total.pop(sid, None)
+        self._last_activity[sid] = self.engine.now
+        self._marker_upto[sid] = marker
+        self._marker_pending.pop(sid, None)
+        self._marker_sent[sid] = marker
+        self.reassembly.set_next_seq(sid, marker)
+        self._resume_grants.pop(sid, None)
+        self._restore_grants.pop(sid, None)
+        if not self._consumers_started:
+            self._consumers_started = True
+            for i in range(self.config.writer_threads):
+                self.engine.process(self._consumer_thread(i))
+        if not self._gc_running:
+            self._gc_running = True
+            self.engine.process(self._gc_thread())
+        if len(self._expected_bytes) == 1:
+            # Sole pool user: every WAITING region is a credit the source
+            # flushed when it degraded — revoke so a later restore (or a
+            # sibling session) grants from a full pool.
+            for blk in self.pool.blocks.values():
+                if blk.state is SinkBlockState.WAITING:
+                    blk.mr.take(blk.mr.buffer.addr)
+                    blk.revoke()
+                    self.pool.put_free_blk(blk)
+            if self.granter is not None:
+                self.granter.pending_request = False
+        self._fallback_streams[sid] = stream
+        self._fallback_resume_seq[sid] = marker
+        self._fallback_done.pop(sid, None)
+        self.engine.process(self._tcp_consumer_thread(sid, stream, marker))
+        yield from self.ctrl.send(
+            thread,
+            ControlMessage(CtrlType.TRANSPORT_FALLBACK_REP, sid, (True, marker)),
+        )
+
+    def _tcp_consumer_thread(self, sid: int, stream, start_seq: int) -> Generator:
+        """Drain one degraded session's TCP stream into the data sink.
+
+        Blocks arrive strictly in order (TCP), so delivery bypasses the
+        reassembly buffer and the credit machinery entirely; checksums
+        are still verified end to end.  The thread stands down the moment
+        the session's registered stream is no longer *this* one — a
+        reclaim, crash, restore, or superseding fallback all pop/replace
+        the registration.
+        """
+        thread = self.host.thread(f"snk-tcp{sid}", "app")
+        cursor = start_seq
+        while True:
+            if self._fallback_streams.get(sid) is not stream:
+                return
+            frame = yield from stream.recv_block(thread)
+            if self._fallback_streams.get(sid) is not stream:
+                return
+            if frame is None:
+                # EOF sentinel: the source's pump stopped (dataset done or
+                # a repromotion pending).  Record the restore anchor.
+                self._fallback_done[sid] = cursor
+                self.engine.trace("sink", "fallback_eof", session=sid, seq=cursor)
+                return
+            header, payload = frame
+            if self.config.checksum_blocks and header.checksum != block_checksum(
+                payload
+            ):
+                self._m_mismatches.add()
+                self.engine.trace(
+                    "sink", "checksum_mismatch",
+                    session=header.session_id, seq=header.seq,
+                )
+                continue
+            yield from self.data_sink.write(thread, header.length, header, payload)
+            if self._fallback_streams.get(sid) is not stream:
+                return
+            self._m_fallback_blocks.add()
+            self._m_delivered.add()
+            cursor = header.seq + 1
+            self._consumed_bytes[sid] = (
+                self._consumed_bytes.get(sid, 0) + header.length
+            )
+            self._last_activity[sid] = self.engine.now
+            self._advance_written(sid, header.seq)
+            yield from self._maybe_finish(thread, sid)
+
+    def _on_transport_restore(self, thread, msg: ControlMessage) -> Generator:
+        """TRANSPORT_RESTORE_REQ: promote a degraded session back to RDMA.
+
+        ``msg.data`` is ``(total_bytes, marker_interval)``.  The reply is
+        ``(ready, resume_seq, initial_credits)`` — not ready until the
+        TCP consumer has drained the stream to its EOF sentinel, so the
+        RDMA restart point is exact and nothing races the stream.
+        """
+        sid = msg.session_id
+        total, marker_interval = msg.data
+        if self.pool is None or self.granter is None:
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.TRANSPORT_RESTORE_REP, sid, (False, 0, ())),
+            )
+            return
+        bs = self.pool.block_size
+        if sid in self._acked:
+            nblocks = (self._acked[sid] + bs - 1) // bs
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(
+                    CtrlType.TRANSPORT_RESTORE_REP, sid, (True, nblocks, ())
+                ),
+            )
+            return
+        if sid not in self._expected_bytes:
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.TRANSPORT_RESTORE_REP, sid, (False, 0, ())),
+            )
+            return
+        stored = self._restore_grants.get(sid)
+        if (
+            stored is not None
+            and self.reassembly.next_seq(sid) == stored[0]
+            and self.reassembly.pending(sid) == 0
+        ):
+            # Duplicate request before any restored block landed: same
+            # grant again (the regions are still WAITING for it).
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(
+                    CtrlType.TRANSPORT_RESTORE_REP, sid, (True, stored[0], stored[1])
+                ),
+            )
+            return
+        done_seq = self._fallback_done.get(sid)
+        if done_seq is None:
+            # The consumer has not reached the EOF sentinel yet; the
+            # source retries after a patience interval.
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.TRANSPORT_RESTORE_REP, sid, (False, 0, ())),
+            )
+            return
+        self.engine.trace("sink", "transport_restore", session=sid, seq=done_seq)
+        self._fallback_streams.pop(sid, None)
+        self._fallback_done.pop(sid, None)
+        self._fallback_resume_seq.pop(sid, None)
+        self._marker_interval[sid] = marker_interval
+        self._consumed_bytes[sid] = min(done_seq * bs, total)
+        self._last_activity[sid] = self.engine.now
+        self._marker_upto[sid] = done_seq
+        self._marker_pending.pop(sid, None)
+        self._marker_sent[sid] = done_seq
+        self.reassembly.set_next_seq(sid, done_seq)
+        initial = tuple(self.granter.initial_grant(self.config.initial_credits))
+        self._restore_grants[sid] = (done_seq, initial)
+        yield from self.ctrl.send(
+            thread,
+            ControlMessage(
+                CtrlType.TRANSPORT_RESTORE_REP, sid, (True, done_seq, initial)
+            ),
         )
 
     def _drop_unconsumed(self, session_id: int) -> None:
@@ -447,11 +722,20 @@ class SinkEngine:
             done = self.session_done.get(sid)
             if done is not None and not done.triggered:
                 done.fail(EndpointCrashed(sid, "sink process crashed")).defuse()
+            # Writer threads survive the "process restart" (they are sim
+            # processes); invalidate any write in flight across the crash.
+            self._accounting_epoch[sid] = self._accounting_epoch.get(sid, 0) + 1
         self._expected_bytes.clear()
         self._consumed_bytes.clear()
         self._dataset_done_total.clear()
         self._last_activity.clear()
         self._resume_grants.clear()
+        self._restore_grants.clear()
+        # The TCP consumers key their liveness on these registrations: a
+        # crash orphans any degraded-mode stream.
+        self._fallback_streams.clear()
+        self._fallback_done.clear()
+        self._fallback_resume_seq.clear()
         if self.pool is not None:
             for sid in self.reassembly.sessions():
                 for _hdr, blk in self.reassembly.reclaim_session(sid):
@@ -491,9 +775,14 @@ class SinkEngine:
         while True:
             header, block = yield self.get_ready_blk()
             payload = block.payload
+            epoch = self._accounting_epoch.get(header.session_id, 0)
             yield from self.data_sink.write(thread, header.length, header, payload)
             block.consume()
             self.pool.put_free_blk(block)
+            if self._accounting_epoch.get(header.session_id, 0) != epoch:
+                # The accounting was re-anchored mid-write; this block is
+                # below the new marker and will arrive again.
+                continue
             self._consumed_bytes[header.session_id] = (
                 self._consumed_bytes.get(header.session_id, 0) + header.length
             )
@@ -576,6 +865,11 @@ class SinkEngine:
             self._marker_sent.pop(session_id, None)
             self._marker_interval.pop(session_id, None)
             self._resume_grants.pop(session_id, None)
+            self._restore_grants.pop(session_id, None)
+            self._fallback_streams.pop(session_id, None)
+            self._fallback_done.pop(session_id, None)
+            self._fallback_resume_seq.pop(session_id, None)
+            self._accounting_epoch.pop(session_id, None)
             self.reassembly.reclaim_session(session_id)  # drops the seq cursor
             yield from self.ctrl.send(
                 thread,
@@ -584,19 +878,55 @@ class SinkEngine:
 
     # -- stale-session garbage collection --------------------------------------------
     def _gc_thread(self) -> Generator:
-        """Sweep idle sessions.  Runs only while sessions are live, so a
-        drained engine is not kept awake by a housekeeping timer; the next
-        SESSION_REQ restarts it."""
+        """Sweep idle sessions and watch the peer.  Runs only while
+        sessions are live, so a drained engine is not kept awake by a
+        housekeeping timer; the next SESSION_REQ restarts it.
+
+        With heartbeats on, a sweep that finds the whole *link* silent
+        past the adaptive PING cadence sends its own PING; after
+        ``heartbeat_misses`` unanswered intervals every session is
+        reclaimed with a typed :class:`PeerDead` — bounded-time detection
+        of a dead source even when ``session_idle_timeout`` is long.  The
+        per-session idle threshold itself is ``health.idle_timeout()``:
+        never below the configured floor, scaled up by the RTT estimate
+        on long paths."""
+        thread = self.host.thread("snk-gc", "app")
         while self._expected_bytes:
             yield self.engine.timeout(self.config.gc_interval)
             now = self.engine.now
+            if self.config.heartbeats and self._expected_bytes:
+                interval = self.health.heartbeat_interval()
+                silent = now - self.health.last_heard
+                if silent >= interval and now - self._last_ping_at >= interval:
+                    self.health.misses += 1
+                    if self.health.misses > self.config.heartbeat_misses:
+                        self._m_peer_dead.add()
+                        self.engine.trace(
+                            "sink", "peer_dead", misses=self.health.misses
+                        )
+                        for sid in list(self._expected_bytes):
+                            self._reclaim_session(
+                                sid,
+                                error=PeerDead(
+                                    sid,
+                                    f"source silent for {self.health.misses} "
+                                    "heartbeat intervals",
+                                ),
+                            )
+                        continue
+                    self._last_ping_at = now
+                    self._m_pings.add()
+                    yield from self.ctrl.send(
+                        thread,
+                        ControlMessage(CtrlType.PING, 0, self.health.next_ping()),
+                    )
             for sid in list(self._expected_bytes):
                 last = self._last_activity.get(sid, now)
-                if now - last >= self.config.session_idle_timeout:
+                if now - last >= self.health.idle_timeout():
                     self._reclaim_session(sid)
         self._gc_running = False
 
-    def _reclaim_session(self, session_id: int) -> None:
+    def _reclaim_session(self, session_id: int, error: Exception = None) -> None:
         """Free everything a dead session still pins at the sink."""
         assert self.pool is not None
         self._m_reclaimed.add()
@@ -607,21 +937,31 @@ class SinkEngine:
         self._expected_bytes.pop(session_id, None)
         self._dataset_done_total.pop(session_id, None)
         self._last_activity.pop(session_id, None)
+        # A writer mid-``write`` must not resurrect consumed-bytes
+        # accounting for the reclaimed incarnation.
+        self._accounting_epoch[session_id] = (
+            self._accounting_epoch.get(session_id, 0) + 1
+        )
         # Keep _marker_upto/_marker_sent: they anchor a later
-        # SESSION_RESUME.  The out-of-order window and any stored resume
-        # grant die with the incarnation (its credits are revoked below).
+        # SESSION_RESUME (or TRANSPORT_FALLBACK).  The out-of-order
+        # window, stored grants, and any degraded-mode stream die with
+        # the incarnation (its credits are revoked below).
         self._marker_pending.pop(session_id, None)
         self._resume_grants.pop(session_id, None)
+        self._restore_grants.pop(session_id, None)
+        self._fallback_streams.pop(session_id, None)
+        self._fallback_done.pop(session_id, None)
+        self._fallback_resume_seq.pop(session_id, None)
         done = self.session_done.get(session_id)
         if done is not None and not done.triggered:
             # Defused: reclamation is the handling — whoever polls the
             # event later still sees the typed error.
-            done.fail(
-                StaleSessionReclaimed(
+            if error is None:
+                error = StaleSessionReclaimed(
                     session_id,
                     f"idle past {self.config.session_idle_timeout}s, reclaimed",
                 )
-            ).defuse()
+            done.fail(error).defuse()
         if not self._expected_bytes:
             # No live session shares the pool: advertised credits held by
             # dead sources can never be honoured — revoke them so the next

@@ -45,9 +45,12 @@ from repro.core.errors import (
     EndpointCrashed,
     MarkerTimeout,
     NegotiationTimeout,
+    PeerDead,
     ResendLimitExceeded,
     TransferError,
+    TransportFallbackFailed,
 )
+from repro.core.health import ChannelBreaker, HealthMonitor
 from repro.core.messages import (
     BlockHeader,
     ControlMessage,
@@ -73,6 +76,8 @@ _REPLY_TYPES = (
     CtrlType.SESSION_REP,
     CtrlType.SESSION_RESUME_REP,
     CtrlType.DATASET_DONE_ACK,
+    CtrlType.TRANSPORT_FALLBACK_REP,
+    CtrlType.TRANSPORT_RESTORE_REP,
 )
 
 
@@ -109,6 +114,7 @@ class TransferJob:
         self._m_resends = reg.counter("source.block_resends", **labels)
         self._m_repairs = reg.counter("source.block_repairs", **labels)
         self._m_ctrl_retries = reg.counter("source.ctrl_retries", **labels)
+        self._m_fallback_blocks = reg.counter("source.fallback_blocks", **labels)
         self._m_latency = reg.histogram("source.block_latency_seconds", **labels)
         self.completed_blocks = 0
         self.resends = 0
@@ -142,6 +148,28 @@ class TransferJob:
         #: failure goes through ``done``.
         self._abort: Event = Event(link.engine)
         self.aborted = False
+        #: Succeeds when this incarnation's RDMA-plane threads (readers,
+        #: sender, credit waits) must stop: on abort, and on degradation
+        #: to the TCP fallback path.  Replaced with a fresh event when
+        #: the session is promoted back to RDMA.
+        self._halt: Event = Event(link.engine)
+        #: True while the TCP fallback carries this session.
+        self.fallback_active = False
+        #: Set by the re-promotion watchdog once an RDMA channel is back.
+        self.repromote_ready = False
+        #: True once the fallback pump has queued every remaining block
+        #: (the stall watchdog stands down; the ack watchdog takes over).
+        self._fallback_pump_done = False
+        self._fallback_stream = None
+        #: Times the session degraded to TCP / blocks the fallback
+        #: carried / times it was promoted back to RDMA.
+        self.fallbacks = 0
+        self.fallback_blocks = 0
+        self.repromotions = 0
+        #: seq -> time its first BLOCK_DONE was sent (None once re-sent:
+        #: Karn's rule discards ambiguous samples).  Restart markers
+        #: close the loop and feed the link's RTT estimator.
+        self._done_sent_at: Dict[int, Optional[float]] = {}
         self.error: Optional[TransferError] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -162,6 +190,15 @@ class TransferJob:
     def _count_ctrl_retry(self) -> None:
         self.ctrl_retries += 1
         self._m_ctrl_retries.add()
+
+    def _count_fallback_block(self) -> None:
+        self.fallback_blocks += 1
+        self._m_fallback_blocks.add()
+
+    @property
+    def halted(self) -> bool:
+        """RDMA-plane threads must stop (abort or TCP degradation)."""
+        return self.aborted or self.fallback_active
 
     @property
     def blocks_to_send(self) -> int:
@@ -195,6 +232,19 @@ class SourceLink:
         self.pool = pool
         self.config = config
         self.ledger = CreditLedger(self.engine)
+        #: Adaptive RTT estimation and peer liveness — one per link; the
+        #: control path is shared by every session riding it.
+        self.health = HealthMonitor(self.engine, config)
+        #: Optional zero-arg factory returning a connected
+        #: :class:`~repro.tcp.connection.TcpConnection` through the same
+        #: fabric, wired by the middleware when the testbed has a TCP
+        #: path.  Without it the link cannot degrade, and total channel
+        #: loss stays a :class:`DataChannelsLost` abort.
+        self.tcp_factory = None
+        #: Optional zero-arg channel re-establishment hook (the
+        #: middleware's reopen_channel bound to this link), used by the
+        #: re-promotion watchdog to bring RDMA back during fallback.
+        self._reopen = None
         self.jobs: Dict[int, TransferJob] = {}
         reg = self.engine.metrics
         self._m_idx = reg.sequence("source_link")
@@ -202,8 +252,21 @@ class SourceLink:
         self._m_mr_requests = reg.counter("source.mr_requests", **labels)
         self._m_stray = reg.counter("source.stray_messages", **labels)
         self._m_crashes = reg.counter("source.crashes", **labels)
+        self._m_pings = reg.counter("source.pings", **labels)
+        self._m_pongs = reg.counter("source.pongs", **labels)
+        self._m_peer_dead = reg.counter("source.peer_dead", **labels)
+        self._m_breaker_trips = reg.counter("source.breaker_trips", **labels)
+        self._m_fallbacks = reg.counter("source.fallbacks", **labels)
+        self._m_repromotions = reg.counter("source.repromotions", **labels)
         reg.gauge_fn("source.active_jobs", lambda: self._active_jobs, **labels)
         reg.gauge_fn("source.inflight_wrs", lambda: len(self._inflight), **labels)
+        reg.gauge_fn("source.rto_seconds", lambda: self.health.rtt.rto, **labels)
+        #: qp_num -> circuit breaker, created lazily as channels carry
+        #: traffic; survives detach/adopt so a flapping QP that comes
+        #: back keeps its quarantine history.
+        self._breakers: Dict[int, ChannelBreaker] = {}
+        data.breaker_lookup = self._breaker_for
+        self._hb_running = False
         self._wr_ids = itertools.count()
         #: wr_id -> (job, block, credit, failed_attempts, is_repair).
         self._inflight: Dict[
@@ -231,6 +294,36 @@ class SourceLink:
     def crashes(self) -> int:
         return int(self._m_crashes.total)
 
+    @property
+    def breaker_trips(self) -> int:
+        return int(self._m_breaker_trips.total)
+
+    @property
+    def fallbacks(self) -> int:
+        return int(self._m_fallbacks.total)
+
+    @property
+    def repromotions(self) -> int:
+        return int(self._m_repromotions.total)
+
+    def _breaker_for(self, qp_num: int) -> ChannelBreaker:
+        breaker = self._breakers.get(qp_num)
+        if breaker is None:
+            breaker = ChannelBreaker(
+                qp_num, self.config.breaker_failures, self.health.breaker_cooldown
+            )
+            self._breakers[qp_num] = breaker
+        return breaker
+
+    def _start_shared_threads(self) -> None:
+        if not self._started:
+            self._started = True
+            self.engine.process(self._control_thread())
+            self.engine.process(self._completion_thread())
+        if self.config.heartbeats and not self._hb_running:
+            self._hb_running = True
+            self.engine.process(self._heartbeat_thread())
+
     # -- public API --------------------------------------------------------------
     def transfer(self, data_source: Any, total_bytes: int, session_id: int):
         """Process event resolving to the finished :class:`TransferJob`.
@@ -244,10 +337,7 @@ class SourceLink:
             raise ValueError(f"session {session_id} already active on this link")
         self.jobs[session_id] = job
         self._active_jobs += 1
-        if not self._started:
-            self._started = True
-            self.engine.process(self._control_thread())
-            self.engine.process(self._completion_thread())
+        self._start_shared_threads()
 
         def _run() -> Generator:
             thread = self.host.thread(f"src-nego-{session_id}", "app")
@@ -285,10 +375,7 @@ class SourceLink:
             raise ValueError(f"session {session_id} already active on this link")
         self.jobs[session_id] = job
         self._active_jobs += 1
-        if not self._started:
-            self._started = True
-            self.engine.process(self._control_thread())
-            self.engine.process(self._completion_thread())
+        self._start_shared_threads()
 
         def _run() -> Generator:
             thread = self.host.thread(f"src-resume-{session_id}", "app")
@@ -398,6 +485,8 @@ class SourceLink:
             "link", "abort", session=job.session_id, error=type(exc).__name__
         )
         job._abort.succeed()
+        if not job._halt.triggered:
+            job._halt.succeed()
         job.done.fail(exc)
 
     def _recycle(self, block: SourceBlock, credit: Optional[Credit] = None) -> None:
@@ -422,28 +511,39 @@ class SourceLink:
     ) -> Generator:
         """Send ``req_type`` and await ``rep_type`` under the retry budget.
 
+        The first attempt waits one adaptive RTO (microseconds on a quiet
+        LAN once the estimator has samples); later attempts back off along
+        a ladder floored by the static ``ctrl_timeout`` schedule, so a
+        sharp estimate buys a fast first retransmit without shrinking the
+        total patience budget below what injected delay faults need.
+        Per Karn's rule only an unambiguous (first-attempt) exchange
+        feeds the estimator.
+
         Returns the reply message, or ``None`` after aborting the job with
         :class:`NegotiationTimeout`.
         """
         sid = job.session_id
         store = job._replies[rep_type]
-        timeout = self.config.ctrl_timeout
         attempts = self.config.ctrl_retries + 1
         for attempt in range(attempts):
             if attempt:
                 job._count_ctrl_retry()
+            sent_at = self.engine.now
             yield from self.ctrl.send(thread, ControlMessage(req_type, sid, payload))
             get_ev = store.get()
-            timer = self.engine.timeout(timeout)
+            timer = self.engine.timeout(self.health.request_timeout(attempt))
             outcome = yield AnyOf(self.engine, [get_ev, timer])
             if get_ev in outcome:
+                if attempt == 0:
+                    self.health.rtt.observe(self.engine.now - sent_at)
                 return outcome[get_ev]
             store.cancel_get(get_ev)
             if get_ev.triggered and get_ev.ok:
                 # The reply slipped in between the timer firing and this
                 # process resuming — same instant, still a win.
+                if attempt == 0:
+                    self.health.rtt.observe(self.engine.now - sent_at)
                 return get_ev.value
-            timeout *= self.config.ctrl_backoff
         self._abort_job(
             job,
             NegotiationTimeout(
@@ -506,25 +606,26 @@ class SourceLink:
     # -- per-job threads -----------------------------------------------------------
     def _reader_thread(self, job: TransferJob, index: int) -> Generator:
         thread = self.host.thread(f"src-reader{job.session_id}.{index}", "app")
-        while not job.aborted:
+        halt = job._halt
+        while not job.halted:
             if job._next_load_seq >= job.total_blocks:
                 return
             seq = job._next_load_seq
             job._next_load_seq += 1
             offset, length = job._block_extent(seq)
             get_ev = self.pool.get_free_blk()
-            outcome = yield AnyOf(self.engine, [get_ev, job._abort])
+            outcome = yield AnyOf(self.engine, [get_ev, halt])
             if get_ev in outcome:
                 block: SourceBlock = outcome[get_ev]
             else:
                 self.pool.cancel_get_free_blk(get_ev)
                 if get_ev.triggered and get_ev.ok:
-                    # Raced with the abort: we own the block, hand it back.
+                    # Raced with the halt: we own the block, hand it back.
                     self.pool.put_free_blk(get_ev.value)
                 return
             block.reserve()
             payload = yield from job.data_source.read(thread, length, seq)
-            if job.aborted:
+            if job.halted:
                 self._recycle(block)
                 return
             header = BlockHeader(
@@ -548,7 +649,6 @@ class SourceLink:
         get_ev = self.ledger.acquire()
         if get_ev.triggered:
             return get_ev.value  # balance was positive: no stall, no request
-        timeout = self.config.ctrl_timeout
         attempts = 0
         while True:
             if not self.ledger.request_outstanding:
@@ -561,14 +661,14 @@ class SourceLink:
                 yield from self.ctrl.send(
                     thread, ControlMessage(CtrlType.MR_INFO_REQ, job.session_id)
                 )
-            timer = self.engine.timeout(timeout)
-            outcome = yield AnyOf(self.engine, [get_ev, timer, job._abort])
+            timer = self.engine.timeout(self.health.patience_timeout(attempts))
+            outcome = yield AnyOf(self.engine, [get_ev, timer, job._halt])
             if get_ev in outcome:
                 return outcome[get_ev]
             self.ledger.cancel(get_ev)
             if get_ev.triggered and get_ev.ok:
                 return get_ev.value
-            if job.aborted:
+            if job.halted:
                 return None
             attempts += 1
             if attempts > self.config.ctrl_retries:
@@ -583,16 +683,16 @@ class SourceLink:
             # Our outstanding request (whoever sent it) went unanswered
             # long enough — clear the dedupe latch and ask again.
             self.ledger.request_outstanding = False
-            timeout *= self.config.ctrl_backoff
             get_ev = self.ledger.acquire()
             if get_ev.triggered:
                 return get_ev.value
 
     def _sender_thread(self, job: TransferJob) -> Generator:
         thread = self.host.thread(f"src-sender{job.session_id}", "app")
+        halt = job._halt
         while True:
             get_ev = job._loaded.get()
-            outcome = yield AnyOf(self.engine, [get_ev, job._abort])
+            outcome = yield AnyOf(self.engine, [get_ev, halt])
             if get_ev in outcome:
                 block: Optional[SourceBlock] = outcome[get_ev]
             else:
@@ -602,15 +702,21 @@ class SourceLink:
                 return
             if block is None:
                 return  # all blocks of this job completed
-            if job.aborted:
+            if job.halted:
                 self._recycle(block)
                 return
             credit = yield from self._acquire_credit(thread, job)
             if credit is None:
                 self._recycle(block)
                 return
-            if job.aborted:
-                self._recycle(block, credit)
+            if job.halted:
+                if job.fallback_active and not job.aborted:
+                    # Degrading to TCP: the sink revokes every RDMA
+                    # region when it accepts, so drop the credit rather
+                    # than refund a reference to a revoked region.
+                    self._recycle(block)
+                else:
+                    self._recycle(block, credit)
                 return
             assert block.header is not None
             block.sending()
@@ -623,9 +729,10 @@ class SourceLink:
 
     def _post_block(self, thread, job: TransferJob, block: SourceBlock,
                     credit: Credit, wr_id: int) -> Generator:
-        """Post one WRITE; fail the job with :class:`DataChannelsLost`
-        when no data channel survives.  Returns False after such an abort
-        (the block and credit have been reclaimed)."""
+        """Post one WRITE; degrade to the TCP fallback (or fail the job
+        with :class:`DataChannelsLost`) when no data channel survives.
+        Returns False after either outcome (the block and credit have
+        been reclaimed)."""
         assert block.header is not None
         try:
             yield from self.data.post_write(
@@ -634,6 +741,12 @@ class SourceLink:
         except NoLiveChannelError:
             self._inflight.pop(wr_id, None)
             job._post_times.pop(wr_id, None)
+            if job.fallback_active or self._begin_fallback(job):
+                # Degrading to TCP: the sink revokes every RDMA region
+                # when it accepts the fallback, so the credit is
+                # dropped, not refunded.
+                self._recycle(block)
+                return False
             self._recycle(block, credit)
             self._abort_job(
                 job, DataChannelsLost(job.session_id, "every data channel is dead")
@@ -656,10 +769,25 @@ class SourceLink:
                     # rotation shrinks to the survivors (idempotent — the
                     # first flushed WR wins, later ones find it gone).
                     self.data.detach(wc.qp_num)
-                if job.aborted:
-                    # The session died while this WRITE was in flight; the
-                    # completion thread holds the last live reference.
-                    self._recycle(block, credit)
+                breaker = self._breaker_for(wc.qp_num)
+                if wc.ok:
+                    breaker.record_success()
+                elif breaker.record_failure(self.engine.now):
+                    self._m_breaker_trips.add()
+                    self.engine.trace(
+                        "link", "breaker_trip", qp=wc.qp_num,
+                        trips=breaker.trips,
+                    )
+                if job.aborted or job.fallback_active:
+                    # The session died (or degraded to TCP) while this
+                    # WRITE was in flight; the completion thread holds
+                    # the last live reference.
+                    if job.fallback_active and not job.aborted:
+                        # Regions are revoked at fallback accept: drop
+                        # the credit instead of refunding it.
+                        self._recycle(block)
+                    else:
+                        self._recycle(block, credit)
                     continue
                 if posted_at is not None and wc.ok:
                     latency = self.engine.now - posted_at
@@ -674,6 +802,13 @@ class SourceLink:
                             job.session_id,
                             (credit.block_id, block.header),
                         ),
+                    )
+                    # Restart markers ack this send later; remember when
+                    # it left (Karn: a re-sent seq becomes ambiguous and
+                    # is struck from the sample book).
+                    seq = block.header.seq
+                    job._done_sent_at[seq] = (
+                        None if seq in job._done_sent_at else self.engine.now
                     )
                     if self.config.block_repair:
                         # Keep the copy WAITING until a restart marker (or
@@ -731,13 +866,11 @@ class SourceLink:
         """Retransmit DATASET_DONE until the ACK lands, then give up with
         a typed :class:`AckTimeout`."""
         thread = self.host.thread(f"src-ack{job.session_id}", "app")
-        timeout = self.config.ctrl_timeout
         attempts = self.config.ctrl_retries + 1
         for attempt in range(attempts):
-            yield self.engine.timeout(timeout)
+            yield self.engine.timeout(self.health.patience_timeout(attempt))
             if job.done.triggered or job.aborted:
                 return
-            timeout *= self.config.ctrl_backoff
             if attempt + 1 == attempts:
                 break
             job._count_ctrl_retry()
@@ -763,13 +896,12 @@ class SourceLink:
         release/repair progress for the whole control retry budget — the
         session becomes resumable instead of hung.
         """
-        timeout = self.config.ctrl_timeout
         attempts = 0
         while not job.aborted and not job.done.triggered:
             signature = (
                 job.marker, len(job.unacked), job.repairs, job.completed_blocks
             )
-            timer = self.engine.timeout(timeout)
+            timer = self.engine.timeout(self.health.patience_timeout(attempts))
             yield AnyOf(self.engine, [timer, job._abort])
             if job.aborted or job.done.triggered:
                 return
@@ -777,8 +909,10 @@ class SourceLink:
                 job.marker, len(job.unacked), job.repairs, job.completed_blocks
             )
             if not job.unacked or progressed:
+                # Covers the fallback window too: degradation drains
+                # ``unacked``, so the watchdog idles instead of racing
+                # the fallback for a second abort decision.
                 attempts = 0
-                timeout = self.config.ctrl_timeout
                 continue
             attempts += 1
             if attempts > self.config.ctrl_retries:
@@ -791,13 +925,26 @@ class SourceLink:
                     ),
                 )
                 return
-            timeout *= self.config.ctrl_backoff
 
     def _control_thread(self) -> Generator:
         thread = self.host.thread("src-ctrl", "app")
         while True:
             msgs = yield from self.ctrl.receive(thread)
             for msg in msgs:
+                # Liveness and heartbeats come before session routing: a
+                # PING/PONG is link-level (session id 0) and must never
+                # be stray-counted or matched against a job.
+                self.health.heard()
+                if msg.type is CtrlType.PING:
+                    yield from self.ctrl.send(
+                        thread,
+                        ControlMessage(CtrlType.PONG, msg.session_id, msg.data),
+                    )
+                    continue
+                if msg.type is CtrlType.PONG:
+                    self._m_pongs.add()
+                    self.health.on_pong(msg.data)
+                    continue
                 if msg.type is CtrlType.MR_INFO_REP:
                     self.ledger.deposit(list(msg.data))
                     continue
@@ -823,6 +970,17 @@ class SourceLink:
                         # the sink re-grants from a clean pool on every
                         # non-idempotent resume, so a duplicate REP's
                         # flush-then-deposit is also safe.
+                        self.ledger.flush()
+                        if initial:
+                            self.ledger.deposit(list(initial))
+                if msg.type is CtrlType.TRANSPORT_RESTORE_REP:
+                    ready, _resume_seq, initial = msg.data
+                    if ready:
+                        # Same reasoning as SESSION_RESUME_REP: stale
+                        # grants target regions the sink revoked when it
+                        # accepted the fallback, and the sink re-grants
+                        # from a clean pool, so flush-then-deposit is
+                        # safe under duplicate replies too.
                         self.ledger.flush()
                         if initial:
                             self.ledger.deposit(list(initial))
@@ -861,6 +1019,15 @@ class SourceLink:
         those seqs can finally be freed."""
         if upto <= job.marker:
             return  # stale or duplicate marker
+        sent_at = job._done_sent_at.get(upto - 1)
+        if sent_at is not None:
+            # The marker was cut when the block acked here crossed the
+            # sink's cadence; its BLOCK_DONE send time closes an RTT
+            # loop (inflated by sink-side consumption — which only makes
+            # derived timeouts more patient, never too eager).
+            self.health.rtt.observe(self.engine.now - sent_at)
+        for s in [s for s in job._done_sent_at if s < upto]:
+            del job._done_sent_at[s]
         job.marker = upto
         for seq in [s for s in job.unacked if s < upto]:
             blk = job.unacked.pop(seq)
@@ -902,3 +1069,282 @@ class SourceLink:
         self._inflight[wr_id] = (job, block, credit, 0, True)
         job._post_times[wr_id] = self.engine.now
         yield from self._post_block(thread, job, block, credit, wr_id)
+
+    # -- heartbeats (peer liveness in bounded time) -----------------------------------
+    def _heartbeat_thread(self) -> Generator:
+        """PING the sink whenever the link goes quiet for one adaptive
+        heartbeat interval; declare :class:`PeerDead` after the miss
+        budget.  Any inbound control traffic counts as life — PINGs only
+        flow on an otherwise-idle link, so a healthy busy transfer pays
+        nothing."""
+        thread = self.host.thread("src-hb", "app")
+        while self.jobs:
+            interval = self.health.heartbeat_interval()
+            yield self.engine.timeout(interval)
+            if not self.jobs:
+                break
+            if self.engine.now - self.health.last_heard < interval:
+                continue
+            self.health.misses += 1
+            if self.health.misses > self.config.heartbeat_misses:
+                self._m_peer_dead.add()
+                self.engine.trace("link", "peer_dead", misses=self.health.misses)
+                for job in list(self.jobs.values()):
+                    self._abort_job(
+                        job,
+                        PeerDead(
+                            job.session_id,
+                            f"peer silent for {self.health.misses}"
+                            " heartbeat intervals",
+                        ),
+                    )
+                continue
+            self._m_pings.add()
+            yield from self.ctrl.send(
+                thread,
+                ControlMessage(CtrlType.PING, 0, self.health.next_ping()),
+            )
+        self._hb_running = False
+
+    # -- graceful degradation: the TCP fallback path ----------------------------------
+    def _begin_fallback(self, job: TransferJob) -> bool:
+        """Flip a session whose every data channel died onto the TCP
+        fallback.  Returns False when degradation is impossible (no
+        factory wired, disabled, or the session already settled) — the
+        caller then aborts with :class:`DataChannelsLost` as before."""
+        if job.fallback_active:
+            return True
+        if job.aborted or job.done.triggered:
+            return False
+        if not self.config.tcp_fallback or self.tcp_factory is None:
+            return False
+        job.fallback_active = True
+        job.fallbacks += 1
+        job._fallback_pump_done = False
+        job.repromote_ready = False
+        self._m_fallbacks.add()
+        # Halt the RDMA-plane threads; they recycle whatever they hold.
+        # Blocks parked in the loaded queue and repair copies are
+        # reclaimed here — the fallback pump re-reads straight from the
+        # data source, and the sink's accept revokes every RDMA region,
+        # so neither the copies nor their credits stay meaningful.
+        while job._loaded.items:
+            blk = job._loaded.items.popleft()
+            if blk is None:
+                continue
+            blk.scrap()
+            self.pool.put_free_blk(blk)
+        while job.unacked:
+            _seq, blk = job.unacked.popitem()
+            blk.scrap()
+            self.pool.put_free_blk(blk)
+        job.nack_attempts.clear()
+        if not job._halt.triggered:
+            job._halt.succeed()
+        self.engine.trace(
+            "link", "fallback_begin", session=job.session_id, marker=job.marker
+        )
+        self.engine.process(self._fallback_thread(job))
+        return True
+
+    def _fallback_thread(self, job: TransferJob) -> Generator:
+        """Carry the rest of the dataset over TCP: negotiate, pump the
+        missing suffix with checksummed framed blocks, then either
+        finish (DATASET_DONE over the control QP as usual) or promote
+        the session back to RDMA when a channel returns."""
+        from repro.tcp.fallback import TcpBlockStream
+
+        thread = self.host.thread(f"src-fallback{job.session_id}", "app")
+        sid = job.session_id
+        try:
+            conn = self.tcp_factory()
+        except Exception as exc:  # factory refused (injected denial)
+            self._abort_job(
+                job, TransportFallbackFailed(sid, f"no TCP path: {exc}")
+            )
+            return
+        stream = TcpBlockStream(conn)
+        job._fallback_stream = stream
+        # However the session settles, the TCP connection dies with it.
+        job.done.add_callback(lambda _ev: conn.close())
+        reply = yield from self._request_reply(
+            thread, job,
+            CtrlType.TRANSPORT_FALLBACK_REQ,
+            (job.total_bytes, stream),
+            CtrlType.TRANSPORT_FALLBACK_REP,
+        )
+        if reply is None:
+            return  # aborted (NegotiationTimeout) — done-callback closed conn
+        accepted, resume_seq = reply.data
+        if not accepted:
+            self._abort_job(
+                job, TransportFallbackFailed(sid, "sink denied transport fallback")
+            )
+            return
+        # The sink revoked every outstanding RDMA region when it
+        # accepted; stale credits in the shared ledger must not survive.
+        self.ledger.flush()
+        resume_seq = min(max(resume_seq, 0), job.total_blocks)
+        job.marker = resume_seq
+        self.engine.trace(
+            "link", "fallback_accepted", session=sid, resume_seq=resume_seq
+        )
+        self.engine.process(self._fallback_stall_watchdog(job, stream))
+        if self.config.fallback_repromote and self._reopen is not None:
+            self.engine.process(self._repromote_watchdog(job))
+        seq = resume_seq
+        while seq < job.total_blocks and not job.aborted:
+            if job.repromote_ready:
+                break
+            offset, length = job._block_extent(seq)
+            payload = yield from job.data_source.read(thread, length, seq)
+            if job.aborted:
+                return
+            header = BlockHeader(
+                sid, seq, offset, length,
+                checksum=(
+                    block_checksum(payload) if self.config.checksum_blocks else 0
+                ),
+            )
+            yield from stream.send_block(thread, header, payload)
+            job._count_fallback_block()
+            seq += 1
+        if job.aborted:
+            return
+        job._fallback_pump_done = True
+        yield from stream.send_eof(thread)
+        if seq >= job.total_blocks:
+            # The whole remainder is queued on the TCP path; close out
+            # with the ordinary completion handshake.  The ack watchdog
+            # keeps retransmitting DATASET_DONE while the sink drains.
+            yield from self.ctrl.send(
+                thread, ControlMessage(CtrlType.DATASET_DONE, sid, job.total_bytes)
+            )
+            self.engine.process(self._ack_watchdog(job))
+            return
+        yield from self._restore_rdma(thread, job, seq)
+
+    def _restore_rdma(self, thread, job: TransferJob, next_seq: int) -> Generator:
+        """Promote the session back to RDMA after the sink has drained
+        the TCP phase (signalled by the in-band EOF sentinel).  The sink
+        answers "not ready" until its consumer hits the sentinel, so the
+        handshake is polled under the patience budget."""
+        sid = job.session_id
+        store = job._replies[CtrlType.TRANSPORT_RESTORE_REP]
+        for round_ in range(self.config.ctrl_retries + 1):
+            while store.items:
+                store.items.popleft()  # drop stale not-ready replies
+            reply = yield from self._request_reply(
+                thread, job,
+                CtrlType.TRANSPORT_RESTORE_REQ,
+                (job.total_bytes, self._marker_interval()),
+                CtrlType.TRANSPORT_RESTORE_REP,
+            )
+            if reply is None:
+                return  # aborted
+            ready, resume_seq, _initial = reply.data  # credits: control thread
+            if ready:
+                break
+            yield self.engine.timeout(self.health.patience_timeout(round_))
+            if job.aborted:
+                return
+        else:
+            self._abort_job(
+                job,
+                TransportFallbackFailed(
+                    sid, "sink never drained the fallback stream"
+                ),
+            )
+            return
+        self._m_repromotions.add()
+        job.repromotions += 1
+        self.engine.trace("link", "repromote", session=sid, start_seq=resume_seq)
+        # Re-arm the RDMA plane exactly like a session resume, minus the
+        # session handshake: fresh halt event, cursors at the sink's
+        # durable prefix, and a new reader/sender generation.
+        job.fallback_active = False
+        job.repromote_ready = False
+        job._fallback_pump_done = False
+        job._fallback_stream = None
+        job._halt = Event(self.engine)
+        job.start_seq = min(resume_seq, job.total_blocks)
+        job.marker = job.start_seq
+        job.completed_blocks = 0
+        job._next_load_seq = job.start_seq
+        job._done_sent_at.clear()
+        if job.blocks_to_send == 0:
+            yield from self.ctrl.send(
+                thread, ControlMessage(CtrlType.DATASET_DONE, sid, job.total_bytes)
+            )
+            self.engine.process(self._ack_watchdog(job))
+            return
+        for i in range(self.config.reader_threads):
+            self.engine.process(self._reader_thread(job, i))
+        self.engine.process(self._sender_thread(job))
+
+    def _fallback_stall_watchdog(self, job: TransferJob, stream) -> Generator:
+        """A sink that dies *during* fallback must not hang the session:
+        abort with :class:`TransportFallbackFailed` once the pump makes
+        zero progress for the whole patience budget.  Stands down when
+        the pump finishes (the ack watchdog owns the endgame) or the
+        session is promoted back to RDMA."""
+        attempts = 0
+        last = -1
+        while not job.aborted and not job.done.triggered:
+            if (
+                job._fallback_pump_done
+                or not job.fallback_active
+                or job._fallback_stream is not stream
+            ):
+                return
+            timer = self.engine.timeout(self.health.patience_timeout(attempts))
+            yield AnyOf(self.engine, [timer, job._abort])
+            if job.aborted or job.done.triggered:
+                return
+            if (
+                job._fallback_pump_done
+                or not job.fallback_active
+                or job._fallback_stream is not stream
+            ):
+                return
+            if stream.blocks_sent != last:
+                last = stream.blocks_sent
+                attempts = 0
+                continue
+            attempts += 1
+            if attempts > self.config.ctrl_retries:
+                self._abort_job(
+                    job,
+                    TransportFallbackFailed(
+                        job.session_id,
+                        f"fallback stream stalled at {stream.blocks_sent}"
+                        f" blocks for {attempts} timeouts",
+                    ),
+                )
+                return
+
+    def _repromote_watchdog(self, job: TransferJob) -> Generator:
+        """While degraded, periodically probe for an RDMA path: once a
+        channel re-establishes (a breaker cooldown's worth of waiting
+        between attempts), flag the pump to hand the tail back to the
+        RDMA plane."""
+        while job.fallback_active and not job.aborted and not job.done.triggered:
+            yield self.engine.timeout(self.health.breaker_cooldown())
+            if not job.fallback_active or job.aborted or job.done.triggered:
+                return
+            if job._fallback_pump_done or job.repromote_ready:
+                return
+            if self.data.alive_count == 0:
+                reopen = self._reopen
+                if reopen is None:
+                    return
+                try:
+                    yield reopen()
+                except Exception:
+                    continue  # path still down; retry next cooldown
+            if self.data.alive_count > 0:
+                job.repromote_ready = True
+                self.engine.trace(
+                    "link", "repromote_requested", session=job.session_id
+                )
+                return

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.analysis import Table
 from repro.apps.fio import FioJob, run_fio
@@ -91,7 +91,6 @@ def run_credit_ablation() -> List[Row]:
 
 
 def check_credit_ablation(rows: List[Row]) -> None:
-    by = {r.label.split(",")[0].split(" (")[0]: r for r in rows}
     proactive = rows[0]
     linear = rows[1]
     on_demand = rows[2]

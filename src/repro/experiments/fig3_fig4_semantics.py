@@ -8,7 +8,7 @@ combined source+sink CPU — the two panels of each figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List
 
 from repro.analysis import Table
 from repro.apps.fio import FioJob, run_fio

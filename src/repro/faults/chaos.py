@@ -77,6 +77,13 @@ class ChaosResult:
     #: incarnation, repair and re-send — the bytes-on-wire a resume is
     #: supposed to keep strictly below a full restart's.
     data_bytes_sent: int = 0
+    #: Degraded-mode counters.
+    fallbacks: int = 0
+    fallback_blocks: int = 0
+    repromotions: int = 0
+    breaker_trips: int = 0
+    heartbeat_drops: int = 0
+    fallback_denials: int = 0
 
     @property
     def clean(self) -> bool:
@@ -162,7 +169,9 @@ def run_chaos(
     holder: dict = {}
 
     def _run():
-        link = yield client.open_link(testbed.dst_dev, port, cfg, injector)
+        link = yield client.open_link(
+            testbed.dst_dev, port, cfg, injector, testbed.tcp_connection
+        )
         holder["link"] = link
         injector.arm_source(link)
         sink_eng = next(iter(server.sink_engines.values()), None)
@@ -276,6 +285,10 @@ def run_chaos(
             "_marker_sent",
             "_marker_interval",
             "_resume_grants",
+            "_restore_grants",
+            "_fallback_streams",
+            "_fallback_done",
+            "_fallback_resume_seq",
         ):
             stranded = set(getattr(sink_engine, attr)) & set(sink_engine._acked)
             if stranded:
@@ -307,7 +320,9 @@ def run_chaos(
             source,
             total_bytes,
             cfg.block_size,
-            allow_overlap=holder.get("resume_attempts_used", 0) > 0,
+            allow_overlap=holder.get("resume_attempts_used", 0) > 0
+            or outcome.fallbacks > 0
+            or outcome.repromotions > 0,
         )
         leaks.extend(problems)
 
@@ -349,4 +364,12 @@ def run_chaos(
         resume_attempts_used=holder.get("resume_attempts_used", 0),
         resumed_from=outcome.resumed_from if outcome else 0,
         data_bytes_sent=data_bytes_sent,
+        fallbacks=link.fallbacks if link is not None else 0,
+        fallback_blocks=(
+            sink_engine.fallback_blocks if sink_engine is not None else 0
+        ),
+        repromotions=link.repromotions if link is not None else 0,
+        breaker_trips=link.breaker_trips if link is not None else 0,
+        heartbeat_drops=injector.heartbeat_drops,
+        fallback_denials=injector.fallback_denials,
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Optional, Union
 
-from repro.core.messages import DataBlockWire
+from repro.core.messages import CtrlType, DataBlockWire
 from repro.faults.plan import FaultPlan
 from repro.sim.rng import RandomStreams
 
@@ -42,6 +42,7 @@ class FaultInjector:
         self._ctrl_rng = streams.stream("ctrl")
         self._link_rng = streams.stream("link")
         self._corrupt_rng = streams.stream("corrupt")
+        self._hb_rng = streams.stream("hb")
         self.write_faults = 0
         self.ctrl_drops = 0
         self.ctrl_delays = 0
@@ -51,6 +52,8 @@ class FaultInjector:
         self.source_crashes_fired = 0
         self.sink_crashes_fired = 0
         self.qp_kills_fired = 0
+        self.heartbeat_drops = 0
+        self.fallback_denials = 0
 
     # -- verbs.qp seam ---------------------------------------------------------------
     def data_qp_hook(self, wr: "SendWR") -> bool:
@@ -82,6 +85,16 @@ class FaultInjector:
     def ctrl_hook(self, msg: "ControlMessage") -> Union[None, str, float]:
         """``ControlChannel.fault_hook`` interface: ``"drop"``, a delay in
         seconds, or ``None`` for clean delivery."""
+        if msg.type in (CtrlType.PING, CtrlType.PONG):
+            # Heartbeats draw from their own seam so enabling (or
+            # sweeping) their drop rate never perturbs the ctrl stream.
+            if (
+                self.plan.heartbeat_drop_rate > 0.0
+                and self._hb_rng.random() < self.plan.heartbeat_drop_rate
+            ):
+                self.heartbeat_drops += 1
+                return "drop"
+            return None
         if (
             self.plan.ctrl_drop_rate > 0.0
             and msg.type in self.plan.ctrl_droppable
@@ -149,8 +162,16 @@ class FaultInjector:
 
             engine.process(_kill())
 
+    def _fallback_deny_hook(self) -> bool:
+        """``SinkEngine.fallback_deny_hook`` interface."""
+        self.fallback_denials += 1
+        return True
+
     def arm_sink(self, sink_engine: "SinkEngine") -> None:
-        """Schedule the plan's sink-process crashes."""
+        """Schedule the plan's sink-process crashes and, when the plan
+        denies fallbacks, install the deny hook."""
+        if self.plan.fallback_deny:
+            sink_engine.fallback_deny_hook = self._fallback_deny_hook
         engine = sink_engine.engine
         for when in self.plan.sink_crashes:
 

@@ -75,6 +75,13 @@ class FaultPlan:
     #: QP drops to ERROR mid-transfer, in-flight WRs flush, and the
     #: session fails over onto the surviving channels.
     qp_kills: Tuple[Tuple[float, int], ...] = ()
+    #: Probability a PING or PONG is lost after posting (exercises the
+    #: adaptive heartbeat's miss accounting and the PeerDead abort).
+    heartbeat_drop_rate: float = 0.0
+    #: Deny every TRANSPORT_FALLBACK_REQ at the sink: a session that
+    #: loses all data channels aborts with TransportFallbackFailed
+    #: instead of degrading to TCP.
+    fallback_deny: bool = False
 
     def __post_init__(self) -> None:
         for name in (
@@ -83,6 +90,7 @@ class FaultPlan:
             "ctrl_delay_rate",
             "latency_spike_rate",
             "payload_corrupt_rate",
+            "heartbeat_drop_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -118,4 +126,6 @@ class FaultPlan:
             or self.sink_crashes
             or self.source_crashes
             or self.qp_kills
+            or self.heartbeat_drop_rate
+            or self.fallback_deny
         )

@@ -127,6 +127,40 @@ def _run_chaos_case(testbed_name: str, total_bytes: int) -> dict:
     }
 
 
+def _run_fallback_case(testbed_name: str, total_bytes: int) -> dict:
+    """Graceful-degradation case: every data QP is killed mid-transfer,
+    the session carries on over the TCP fallback path through the same
+    fabric (repromotion off so the whole tail measures degraded-mode
+    throughput), and the run must still end byte-exact and leak-free."""
+    from repro.core import ProtocolConfig
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.testbeds import TESTBEDS
+
+    tb = TESTBEDS[testbed_name]()
+    cfg = ProtocolConfig(fallback_repromote=False)
+    plan = FaultPlan(
+        seed=11, qp_kills=tuple((0.25, i) for i in range(cfg.num_channels))
+    )
+    result = run_chaos(tb, total_bytes=total_bytes, plan=plan, config=cfg)
+    if not result.clean or not result.completed:
+        raise RuntimeError(
+            "fallback bench case did not complete cleanly: "
+            f"error={result.error} leaks={result.leaks}"
+        )
+    gbps = None
+    if result.sim_time > 0:
+        gbps = total_bytes * 8 / result.sim_time / 1e9
+    p50, p99 = _rftp_latency_us(tb.engine)
+    return {
+        "gbps": gbps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "sim_time": tb.engine.now,
+        "events": tb.engine.events_processed,
+    }
+
+
 @dataclass(frozen=True)
 class BenchCase:
     """One named benchmark: a runner closure per mode."""
@@ -181,6 +215,13 @@ BENCH_CASES: Sequence[BenchCase] = (
         {
             "quick": lambda: _run_chaos_case("roce-lan", 32 * MiB),
             "full": lambda: _run_chaos_case("roce-lan", 256 * MiB),
+        },
+    ),
+    BenchCase(
+        "rftp_wan_fallback",
+        {
+            "quick": lambda: _run_fallback_case("ani-wan", 32 * MiB),
+            "full": lambda: _run_fallback_case("ani-wan", 256 * MiB),
         },
     ),
 )

@@ -20,6 +20,7 @@ from repro.tcp.bic import Bic
 from repro.tcp.htcp import HTcp
 from repro.tcp.bottleneck import Bottleneck
 from repro.tcp.connection import TcpConnection, TcpMode, make_congestion_control
+from repro.tcp.fallback import TcpBlockStream
 
 __all__ = [
     "Bic",
@@ -28,6 +29,7 @@ __all__ = [
     "Cubic",
     "HTcp",
     "Reno",
+    "TcpBlockStream",
     "TcpConnection",
     "TcpMode",
     "make_congestion_control",

@@ -105,6 +105,12 @@ class Bottleneck:
             idle_rounds = 0 if progressed else idle_rounds + 1
             yield self.engine.timeout(self.rtt)
         self._running = False
+        # A flow may have buffered data during the final idle sleep — its
+        # send-side poke saw ``_running`` still True and was a no-op.
+        # Re-arm rather than strand that data until the next poke (which,
+        # for a sender that already returned, never comes).
+        if any(f.offered_bytes() > 0.0 for f in self._flows):
+            self.ensure_running()
 
     def _step_round(self) -> bool:
         now = self.engine.now

@@ -188,7 +188,7 @@ class TcpConnection:
             if chunk <= 0:
                 # Wait for data in small deterministic increments; the
                 # chunk cadence bounds added latency to microseconds.
-                got = yield self._sndbuf.get(1)
+                yield self._sndbuf.get(1)
                 chunk = 1 + min(self.PIPE_CHUNK - 1, self._sndbuf.level)
                 if chunk > 1:
                     yield self._sndbuf.get(chunk - 1)

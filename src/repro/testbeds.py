@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.hardware import DiskProfile, Host, HostSpec, Nic, NicProfile
+from repro.hardware import DiskProfile, Host, HostSpec, NicProfile
 from repro.network import DuplexPath, back_to_back, lan_switched, wan_path
 from repro.sim import Engine, RandomStreams
 from repro.tcp import Bottleneck, TcpConnection, TcpMode

@@ -10,7 +10,6 @@ from repro.apps.io import (
     PatternSource,
     ZeroSource,
 )
-from repro.sim import Engine
 from tests.conftest import make_host
 
 

@@ -1,6 +1,5 @@
 """Concurrent sessions, the credit ramp, and end-to-end property tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,179 @@
+"""Graceful degradation: total data-channel loss falls back to TCP.
+
+When every data QP dies mid-transfer the session must not abort: the
+source negotiates TRANSPORT_FALLBACK, carries the remaining blocks from
+the sink's restart marker over a TCP connection through the same
+fabric (checksums still verified end to end), and — when allowed — re-
+promotes to RDMA once a reopened channel's probe succeeds.  Fallback
+off, denied, or impossible must still be exactly ONE typed abort.
+"""
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.faults import FaultPlan, run_chaos
+
+SEEDS = [0, 1]
+
+
+def cfg(**over):
+    base = dict(
+        block_size=256 * 1024,
+        num_channels=2,
+        source_blocks=8,
+        sink_blocks=8,
+    )
+    base.update(over)
+    return ProtocolConfig(**base)
+
+
+def kill_all(when=0.002, channels=2):
+    return tuple((when, i) for i in range(channels))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_total_channel_loss_degrades_to_tcp(seed):
+    """Every QP killed early: the whole remainder rides the TCP path and
+    the delivery is still byte-exact and leak-free."""
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=16 << 20,
+        plan=FaultPlan(seed=seed, qp_kills=kill_all()),
+        config=cfg(fallback_repromote=False),
+    )
+    assert r.qp_kills_fired == 2
+    assert r.completed and r.byte_exact
+    assert r.fallbacks == 1
+    assert r.fallback_blocks > 0
+    assert r.error is None
+    assert r.leaks == ()
+    assert r.clean
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fallback_disabled_stays_a_typed_abort(seed):
+    """``tcp_fallback=False`` preserves the old contract: total channel
+    loss is a DataChannelsLost abort, not a hang and not a fallback."""
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=16 << 20,
+        plan=FaultPlan(seed=seed, qp_kills=kill_all()),
+        config=cfg(tcp_fallback=False),
+    )
+    assert not r.completed
+    assert r.error == "DataChannelsLost"
+    assert r.fallbacks == 0
+    assert r.leaks == ()
+    assert r.clean
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exactly_one_decision_under_racing_watchdogs(seed):
+    """Satellite: the marker watchdog and the channel-loss path race on
+    total QP death — the session must settle on exactly one decision
+    (here: one fallback, zero aborts), never a double abort or an abort
+    racing a live fallback."""
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=16 << 20,
+        # Kill the channels mid-stream, after markers are flowing.
+        plan=FaultPlan(seed=seed, qp_kills=kill_all(when=0.0015)),
+        config=cfg(fallback_repromote=False),
+    )
+    assert r.completed and r.byte_exact
+    assert r.fallbacks == 1  # one decision
+    assert r.error is None  # ... and only one
+    assert r.sessions_reclaimed == 0
+    assert r.leaks == ()
+    assert r.clean
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_denied_fallback_aborts_then_resume_recovers(seed):
+    """The sink's deny hook turns degradation into a typed
+    TransportFallbackFailed; a resume budget still saves the transfer
+    over a re-established data channel."""
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=16 << 20,
+        plan=FaultPlan(seed=seed, qp_kills=kill_all(), fallback_deny=True),
+        config=cfg(),
+        resume_attempts=3,
+        resume_backoff=0.5,
+        horizon=120.0,
+    )
+    assert r.fallback_denials >= 1
+    assert r.completed and r.byte_exact
+    assert r.resume_attempts_used >= 1
+    assert r.leaks == ()
+    assert r.clean
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_denied_fallback_without_resume_is_typed(seed):
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=16 << 20,
+        plan=FaultPlan(seed=seed, qp_kills=kill_all(), fallback_deny=True),
+        config=cfg(),
+        horizon=120.0,
+    )
+    assert not r.completed
+    assert r.error == "TransportFallbackFailed"
+    assert r.fallback_denials >= 1
+    assert r.leaks == ()
+    assert r.clean
+
+
+def test_repromotion_returns_to_rdma_mid_transfer():
+    """With a short breaker cooldown the re-promote watchdog reopens a
+    data channel and the tail of the transfer leaves the TCP path."""
+    r = run_chaos(
+        "roce-lan",
+        total_bytes=256 << 20,
+        plan=FaultPlan(seed=3, qp_kills=kill_all(when=0.002, channels=4)),
+        config=ProtocolConfig(breaker_cooldown_min=0.01),
+    )
+    assert r.completed and r.byte_exact
+    assert r.fallbacks == 1
+    assert r.repromotions == 1
+    assert r.fallback_blocks > 0  # some blocks really rode the TCP path
+    assert r.data_bytes_sent > 0  # ... and the tail went back to RDMA
+    assert r.leaks == ()
+    assert r.clean
+
+
+def test_wan_fallback_completes_checksummed():
+    """Acceptance: kill every data QP mid-transfer on the 49 ms WAN; the
+    session finishes over the TCP fallback with checksums verified."""
+    c = ProtocolConfig(fallback_repromote=False)
+    r = run_chaos(
+        "ani-wan",
+        total_bytes=32 << 20,
+        plan=FaultPlan(seed=11, qp_kills=tuple((0.25, i) for i in range(c.num_channels))),
+        config=c,
+    )
+    assert r.qp_kills_fired == c.num_channels
+    assert r.completed and r.byte_exact
+    assert r.fallbacks == 1
+    assert r.fallback_blocks > 0
+    assert r.checksum_mismatches == 0
+    assert r.leaks == ()
+    assert r.clean
+
+
+def test_fallback_run_replays_identically():
+    """Degraded-mode runs stay deterministic: same seed, same everything."""
+    def go():
+        return run_chaos(
+            "roce-lan",
+            total_bytes=16 << 20,
+            plan=FaultPlan(seed=9, qp_kills=kill_all()),
+            config=cfg(fallback_repromote=False),
+        )
+
+    a, b = go(), go()
+    assert a.sim_time == b.sim_time
+    assert a.fallback_blocks == b.fallback_blocks
+    assert a.data_bytes_sent == b.data_bytes_sent
+    assert (a.completed, a.error) == (b.completed, b.error)

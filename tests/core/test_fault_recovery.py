@@ -1,7 +1,5 @@
 """Fault injection: the WAITING → LOADED re-send path of Figure 6."""
 
-import pytest
-
 from repro.apps.io import CollectingSink, PatternSource
 from repro.core import ProtocolConfig, RdmaMiddleware
 from repro.testbeds import roce_lan

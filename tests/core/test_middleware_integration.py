@@ -1,7 +1,6 @@
 """End-to-end middleware transfers: correctness, ordering, and the
 protocol invariants of §IV."""
 
-import pytest
 
 from repro.apps.io import CollectingSink, PatternSource
 from repro.core import ProtocolConfig, RdmaMiddleware

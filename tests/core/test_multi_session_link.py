@@ -126,7 +126,6 @@ def test_block_size_mismatch_rejected_within_one_channel():
 
     engine = next(iter(server.sink_engines.values()))
     thread = tb.dst.thread("test-driver")
-    replies = []
 
     session_id = first.value.session_id  # known to the client's link
 

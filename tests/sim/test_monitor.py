@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Counter, Engine, TimeSeries, TimeWeightedStat
+from repro.sim import Counter, TimeSeries, TimeWeightedStat
 
 
 def test_counter_accumulates():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, Process, ProcessKilled, SimulationError
+from repro.sim import ProcessKilled, SimulationError
 
 
 def test_process_return_value(engine):

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.io import CollectingSink, PatternSource
 from repro.core import ProtocolConfig, RdmaMiddleware
 from repro.core.channels import DataChannels
-from repro.sim import Engine
 from repro.testbeds import ani_wan, roce_lan
 from repro.verbs import VerbsError
 from tests.conftest import make_fabric

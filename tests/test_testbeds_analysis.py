@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import BandwidthMeter, Series, Table, summarize_latencies
-from repro.sim import Engine
 from repro.tcp import TcpMode
 from repro.testbeds import TESTBEDS, ani_wan, infiniband_lan, roce_lan
 from repro.verbs import RdmaArch

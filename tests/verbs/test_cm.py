@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import SimulationError
 from repro.verbs import VerbsError
 from repro.verbs.qp import QpState
 from tests.conftest import make_fabric
@@ -95,7 +94,7 @@ def test_listener_close_unbinds():
 
 def test_unwired_devices_have_no_path():
     f = make_fabric()
-    from repro.verbs import Device, RdmaFabric
+    from repro.verbs import Device
 
     lonely = Device(f.a.nic)
     with pytest.raises(VerbsError):
