@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Dict, Sequence
 
 import numpy as np
 
+from repro.obs.stats import exact_percentile, mean
 from repro.sim.monitor import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,11 +44,11 @@ def summarize_latencies(latencies_s: Sequence[float]) -> Dict[str, float]:
     """Mean / p50 / p90 / p99 / max of a latency sample, in microseconds."""
     if len(latencies_s) == 0:
         return {k: float("nan") for k in ("mean", "p50", "p90", "p99", "max")}
-    us = np.asarray(latencies_s) * 1e6
+    us = [v * 1e6 for v in latencies_s]
     return {
-        "mean": float(us.mean()),
-        "p50": float(np.percentile(us, 50)),
-        "p90": float(np.percentile(us, 90)),
-        "p99": float(np.percentile(us, 99)),
-        "max": float(us.max()),
+        "mean": mean(us),
+        "p50": exact_percentile(us, 50),
+        "p90": exact_percentile(us, 90),
+        "p99": exact_percentile(us, 99),
+        "max": float(max(us)),
     }

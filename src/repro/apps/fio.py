@@ -16,8 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List
 
-import numpy as np
-
+from repro.obs.stats import exact_percentile, mean
 from repro.sim.events import Event
 from repro.testbeds import Testbed
 from repro.verbs import (
@@ -186,7 +185,7 @@ def run_fio(testbed: Testbed, job: FioJob) -> FioResult:
         raise RuntimeError("fio run did not complete")
     elapsed = engine.now - start
     total_bytes = job.total_blocks * job.block_size
-    lat_us = np.asarray(latencies) * 1e6
+    lat_us = [v * 1e6 for v in latencies]
     src_cpu = testbed.src.cpu.utilization_pct()
     dst_cpu = testbed.dst.cpu.utilization_pct()
     return FioResult(
@@ -197,8 +196,8 @@ def run_fio(testbed: Testbed, job: FioJob) -> FioResult:
         src_cpu_pct=src_cpu,
         dst_cpu_pct=dst_cpu,
         total_cpu_pct=src_cpu + dst_cpu,
-        lat_mean_us=float(lat_us.mean()),
-        lat_p50_us=float(np.percentile(lat_us, 50)),
-        lat_p99_us=float(np.percentile(lat_us, 99)),
+        lat_mean_us=mean(lat_us),
+        lat_p50_us=exact_percentile(lat_us, 50),
+        lat_p99_us=exact_percentile(lat_us, 99),
         _latencies=latencies,
     )

@@ -318,7 +318,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.obs.compare import compare_files
 
-    cmp = compare_files(args.baseline, args.current, tolerance=args.tolerance)
+    cmp = compare_files(
+        args.baseline, args.current,
+        tolerance=args.tolerance, cases=args.case or None,
+    )
     print(cmp.report())
     return 0 if cmp.ok else 1
 
@@ -440,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("current", help="current BENCH_*.json")
     p.add_argument("--tolerance", type=float, default=0.10,
                    help="relative regression tolerance (default 0.10)")
+    p.add_argument("--case", action="append", default=[],
+                   help="gate only this baseline case (repeatable); "
+                        "other cases are neither gated nor missing")
     p.set_defaults(func=_cmd_bench_compare)
 
     return parser

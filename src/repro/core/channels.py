@@ -145,9 +145,12 @@ class DataChannels:
         self._idx = reg.sequence("data_channels")
         self._m_posted = reg.counter("data.blocks_posted", i=self._idx)
         self._m_detached = reg.counter("data.qps_detached", i=self._idx)
-        #: per-QP posted-block counters, cached by qp_num (the rotation
-        #: can gain re-established QPs after failover).
+        #: per-QP posted-block counters, bound up front (and in
+        #: :meth:`adopt` for QPs re-established after failover) so the
+        #: post path never touches the registry.
         self._m_posted_by_qp = {}
+        for qp in qps:
+            self._bind_qp_counter(qp.qp_num)
         reg.gauge_fn("data.alive_qps", lambda: self.alive_count, i=self._idx)
         #: QPs removed from the rotation after entering ERROR (failover).
         self.dead: List["QueuePair"] = []
@@ -196,9 +199,17 @@ class DataChannels:
             return qp
         return None
 
+    def _bind_qp_counter(self, qp_num: int) -> None:
+        """Bind the per-QP posted-block counter once, at membership time."""
+        if qp_num not in self._m_posted_by_qp:
+            self._m_posted_by_qp[qp_num] = self.engine.metrics.counter(
+                "data.qp_blocks_posted", i=self._idx, qp=qp_num
+            )
+
     def adopt(self, qp: "QueuePair") -> None:
         """Add a (re-established) QP to the send rotation."""
         self.qps.append(qp)
+        self._bind_qp_counter(qp.qp_num)
         self.engine.trace("data", "adopt", qp=qp.qp_num, alive=self.alive_count)
 
     def _pick(self) -> "QueuePair":
@@ -276,13 +287,7 @@ class DataChannels:
                 continue
             break
         self._m_posted.add()
-        per_qp = self._m_posted_by_qp.get(qp.qp_num)
-        if per_qp is None:
-            per_qp = self.engine.metrics.counter(
-                "data.qp_blocks_posted", i=self._idx, qp=qp.qp_num
-            )
-            self._m_posted_by_qp[qp.qp_num] = per_qp
-        per_qp.add()
+        self._m_posted_by_qp[qp.qp_num].add()
 
     @property
     def outstanding(self) -> int:

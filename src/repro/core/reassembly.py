@@ -47,6 +47,10 @@ class ReassemblyBuffer:
             "reassembly.payload_conflicts", **labels
         )
         self._m_max_parked = self.metrics.gauge("reassembly.max_parked", **labels)
+        #: session id -> bound duplicate counter; resolved once per
+        #: session (see :meth:`_bind_session_counter`) and dropped with
+        #: the session's other bookkeeping in :meth:`reclaim_session`.
+        self._m_dup_by_session: Dict[int, Any] = {}
         self.metrics.gauge_fn("reassembly.parked", self._total_parked, **labels)
         self.metrics.gauge_fn(
             "reassembly.sessions", lambda: len(self.sessions()), **labels
@@ -130,12 +134,22 @@ class ReassemblyBuffer:
         self._count_duplicate(sid, payload, parked_payload, comparable)
         return True
 
+    def _bind_session_counter(self, sid: int):
+        """Resolve and cache a session's duplicate counter (setup path —
+        runs once per session, on its first counted duplicate)."""
+        counter = self.metrics.counter(
+            "reassembly.session_duplicates", session=sid, **self._labels
+        )
+        self._m_dup_by_session[sid] = counter
+        return counter
+
     def _count_duplicate(self, sid: int, payload: Any, parked_payload: Any,
                          comparable: bool) -> None:
         self._m_duplicates.add()
-        self.metrics.counter(
-            "reassembly.session_duplicates", session=sid, **self._labels
-        ).add()
+        counter = self._m_dup_by_session.get(sid)
+        if counter is None:
+            counter = self._bind_session_counter(sid)
+        counter.add()
         if comparable and parked_payload != payload:
             self._m_conflicts.add()
 
@@ -185,6 +199,7 @@ class ReassemblyBuffer:
         """
         per = self._parked.pop(session_id, {})
         self._next_seq.pop(session_id, None)
+        self._m_dup_by_session.pop(session_id, None)
         self.metrics.remove(
             "reassembly.session_duplicates", session=session_id, **self._labels
         )

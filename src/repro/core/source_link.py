@@ -534,6 +534,7 @@ class SourceLink:
             timer = self.engine.timeout(self.health.request_timeout(attempt))
             outcome = yield AnyOf(self.engine, [get_ev, timer])
             if get_ev in outcome:
+                timer.cancel()
                 if attempt == 0:
                     self.health.rtt.observe(self.engine.now - sent_at)
                 return outcome[get_ev]
@@ -664,6 +665,7 @@ class SourceLink:
             timer = self.engine.timeout(self.health.patience_timeout(attempts))
             outcome = yield AnyOf(self.engine, [get_ev, timer, job._halt])
             if get_ev in outcome:
+                timer.cancel()
                 return outcome[get_ev]
             self.ledger.cancel(get_ev)
             if get_ev.triggered and get_ev.ok:
@@ -903,6 +905,9 @@ class SourceLink:
             )
             timer = self.engine.timeout(self.health.patience_timeout(attempts))
             yield AnyOf(self.engine, [timer, job._abort])
+            if not timer.triggered:
+                # Abort won the race: the pending timer is dead weight.
+                timer.cancel()
             if job.aborted or job.done.triggered:
                 return
             progressed = signature != (
@@ -1299,6 +1304,9 @@ class SourceLink:
                 return
             timer = self.engine.timeout(self.health.patience_timeout(attempts))
             yield AnyOf(self.engine, [timer, job._abort])
+            if not timer.triggered:
+                # Abort won the race: the pending timer is dead weight.
+                timer.cancel()
             if job.aborted or job.done.triggered:
                 return
             if (

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.bench import validate_bench
 
@@ -90,9 +90,19 @@ def _relative_change(baseline: float, current: float) -> Optional[float]:
 
 
 def compare_bench(
-    baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    cases: Optional[Sequence[str]] = None,
 ) -> Comparison:
-    """Compare two validated bench documents case by case."""
+    """Compare two validated bench documents case by case.
+
+    ``cases`` restricts the gate to the named baseline cases — the CI
+    single-case legs run one case and would otherwise fail the
+    missing-case check for everything they deliberately skipped.  Naming
+    a case the baseline does not have is an error (a typo would
+    otherwise gate nothing and pass vacuously).
+    """
     validate_bench(baseline)
     validate_bench(current)
     if tolerance < 0:
@@ -100,6 +110,12 @@ def compare_bench(
     cmp = Comparison(tolerance=tolerance)
     base_results: Dict[str, dict] = baseline["results"]
     cur_results: Dict[str, dict] = current["results"]
+    if cases is not None:
+        unknown = sorted(set(cases) - set(base_results))
+        if unknown:
+            raise ValueError(f"unknown baseline case(s): {', '.join(unknown)}")
+        base_results = {n: base_results[n] for n in cases}
+        cur_results = {n: r for n, r in cur_results.items() if n in set(cases)}
     cmp.new_cases = sorted(set(cur_results) - set(base_results))
     for name in sorted(base_results):
         if name not in cur_results:
@@ -143,10 +159,13 @@ def compare_bench(
 
 
 def compare_files(
-    baseline_path: str, current_path: str, tolerance: float = DEFAULT_TOLERANCE
+    baseline_path: str,
+    current_path: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    cases: Optional[Sequence[str]] = None,
 ) -> Comparison:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     with open(current_path) as fh:
         current = json.load(fh)
-    return compare_bench(baseline, current, tolerance=tolerance)
+    return compare_bench(baseline, current, tolerance=tolerance, cases=cases)

@@ -1,13 +1,31 @@
-"""The simulation engine: a deterministic event-heap scheduler.
+"""The simulation engine: a deterministic event scheduler.
 
 Time is a ``float`` in **seconds**.  Events scheduled for the same instant
 are processed in insertion order, which makes every simulation fully
-deterministic regardless of heap internals.
+deterministic regardless of queue internals.
+
+Two queues back the scheduler:
+
+* a binary heap for immediate triggers and long/irregular events, and
+* a hashed timer wheel for short-horizon timers (heartbeats, adaptive
+  RTOs, watchdogs) — the timers that dominate after adaptive failure
+  detection and that are usually cancelled before they fire.
+
+Both order strictly by ``(time, insertion id)`` with one global id
+counter, so the merged dispatch order is bit-identical to a single heap;
+``Engine(use_wheel=False)`` forces the single-heap path and must produce
+exactly the same simulation (the determinism tests assert this).
+Cancelled timers stay queued as tombstones and are discarded without
+running callbacks when their entry surfaces; tombstones still advance the
+clock and count as processed events, so ``sim_time`` and the
+``events_processed`` determinism anchor do not depend on how many timers
+a run cancels.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.obs import runtime as _obs_runtime
@@ -17,6 +35,8 @@ from repro.sim.process import Process
 
 __all__ = ["Engine", "SimulationError", "StopEngine"]
 
+_INF = float("inf")
+
 
 class SimulationError(Exception):
     """Raised for kernel-level errors (unhandled event failures, etc.)."""
@@ -25,22 +45,52 @@ class SimulationError(Exception):
 class Engine:
     """Deterministic discrete-event simulation engine.
 
-    The engine owns the clock and the event queue.  User code creates
+    The engine owns the clock and the event queues.  User code creates
     processes with :meth:`process` and builds delays/events with
     :meth:`timeout` / :meth:`event`; everything else in the library layers
     on top of these primitives.
     """
 
-    def __init__(self) -> None:
+    #: Wheel geometry: 2048 slots of 64 µs cover a ~131 ms horizon —
+    #: generous for LAN RTOs and WAN heartbeats alike.  Timers beyond the
+    #: horizon (or relative to a stale cursor) fall back to the heap;
+    #: placement never affects dispatch order, only constant factors.
+    WHEEL_TICK = 64e-6
+    WHEEL_SLOTS = 2048
+
+    def __init__(self, use_wheel: bool = True) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._eid: int = 0
         self._stopped = False
+        # -- timer wheel state --
+        self._use_wheel = use_wheel
+        self._wheel_tick: float = self.WHEEL_TICK
+        self._wheel_nslots: int = self.WHEEL_SLOTS
+        #: Slot lists are created on demand so an engine that never uses
+        #: the wheel pays nothing for it.
+        self._wheel: List[Optional[List[Tuple[float, int, Event]]]] = (
+            [None] * self.WHEEL_SLOTS if use_wheel else []
+        )
+        self._wheel_count = 0
+        #: Absolute index of the next undrained slot.  Every entry still
+        #: parked in the wheel is due at or after ``cursor * tick``.
+        self._wheel_cursor = 0
+        #: Sorted absolute indices of slots with parked entries, so the
+        #: drain can jump over empty stretches instead of stepping the
+        #: cursor slot by slot (sparse-timer workloads park entries
+        #: thousands of empty slots apart).
+        self._wheel_occupied: List[int] = []
+        #: Entries drained from the wheel, sorted by ``(time, eid)``;
+        #: merged against the heap head at dispatch.
+        self._ready: List[Tuple[float, int, Event]] = []
         #: Registry every instrumented component on this engine hangs
         #: its counters/gauges/histograms off.
         self.metrics = MetricsRegistry()
-        #: Events popped by :meth:`step` — the denominator of the
-        #: engine-throughput (events/sec) benchmark metric.
+        #: Events popped by the dispatch loop — the denominator of the
+        #: engine-throughput (events/sec) benchmark metric.  Includes
+        #: cancelled-timer tombstones, so the count is a determinism
+        #: anchor independent of cancellation behaviour.
         self.events_processed: int = 0
         #: Optional :class:`repro.sim.trace.Tracer`; instrumented
         #: components emit records when this is set.  The CLI's
@@ -78,16 +128,107 @@ class Engine:
         self._eid += 1
         heapq.heappush(self._heap, (self._now + delay, self._eid, event))
 
+    def _push_timer(self, event: Event, delay: float) -> None:
+        """Queue a timer, preferring the wheel for short horizons.
+
+        The global ``eid`` counter is shared with :meth:`_push`, so a
+        timer's position in the total ``(time, eid)`` order is the same
+        whether it lands in the wheel or the heap.
+        """
+        self._eid += 1
+        when = self._now + delay
+        if self._use_wheel:
+            tick = self._wheel_tick
+            if self._wheel_count == 0:
+                # Nothing parked: snap the cursor forward so an idle
+                # stretch doesn't leave new timers out of wheel range.
+                cursor = int(self._now / tick)
+                if cursor > self._wheel_cursor:
+                    self._wheel_cursor = cursor
+            slot = int(when / tick)
+            offset = slot - self._wheel_cursor
+            if offset < 0:
+                # Due inside the already-drained window: straight to the
+                # sorted ready list.
+                insort(self._ready, (when, self._eid, event))
+                return
+            if offset < self._wheel_nslots:
+                index = slot % self._wheel_nslots
+                bucket = self._wheel[index]
+                if bucket is None:
+                    bucket = self._wheel[index] = []
+                if not bucket:
+                    insort(self._wheel_occupied, slot)
+                bucket.append((when, self._eid, event))
+                self._wheel_count += 1
+                return
+        heapq.heappush(self._heap, (when, self._eid, event))
+
+    def _drain_wheel(self) -> None:
+        """Advance the wheel cursor until the earliest possibly-parked
+        timer can no longer precede the known queue heads.
+
+        Draining only moves entries into the sorted ready list — it runs
+        no callbacks and reads no clocks, so it is safe from ``peek`` as
+        well as from the dispatch loop.
+        """
+        heap = self._heap
+        ready = self._ready
+        tick = self._wheel_tick
+        nslots = self._wheel_nslots
+        wheel = self._wheel
+        occupied = self._wheel_occupied
+        while occupied:
+            head = heap[0][0] if heap else None
+            if ready and (head is None or ready[0][0] < head):
+                head = ready[0][0]
+            first = occupied[0]
+            # Entries in slot ``first`` are due at >= first * tick; a
+            # strictly earlier head cannot be outrun, ties must drain so
+            # the eid order decides.
+            if head is not None and head < first * tick:
+                # Jump the cursor over the empty stretch (never past an
+                # occupied slot) so insert offsets stay anchored near now.
+                cursor = int(head / tick)
+                if cursor > first:
+                    cursor = first
+                if cursor > self._wheel_cursor:
+                    self._wheel_cursor = cursor
+                return
+            bucket = wheel[first % nslots]
+            self._wheel_cursor = first + 1
+            del occupied[0]
+            self._wheel_count -= len(bucket)
+            ready.extend(bucket)
+            ready.sort()
+            bucket.clear()
+
     # -- execution ------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._wheel_count:
+            self._drain_wheel()
+        ready_t = self._ready[0][0] if self._ready else _INF
+        heap_t = self._heap[0][0] if self._heap else _INF
+        return ready_t if ready_t < heap_t else heap_t
+
+    def _pop_next(self) -> Tuple[float, int, Event]:
+        """Remove and return the globally next ``(time, eid, event)``."""
+        if self._wheel_count:
+            self._drain_wheel()
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            if heap and heap[0] < ready[0]:
+                return heapq.heappop(heap)
+            return ready.pop(0)
+        if heap:
+            return heapq.heappop(heap)
+        raise SimulationError("step() on an empty event queue")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = self._pop_next()
         self._now = when
         self.events_processed += 1
         callbacks = event.callbacks
@@ -95,6 +236,8 @@ class Engine:
         # ``Timeout`` events carry their value from construction; plain
         # events were triggered via succeed()/fail().
         assert callbacks is not None
+        if event._cancelled:
+            return
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -109,19 +252,59 @@ class Engine:
         When ``until`` is given the clock is left exactly at ``until`` even
         if the next event lies beyond it, which makes interval-based
         measurement code simple and exact.
+
+        This is the hot loop: queue references, the heap primitives, and
+        the ``until`` bound are hoisted into locals, and the next entry is
+        selected by direct head comparison so the common dispatch costs no
+        method calls beyond the event callbacks themselves.
         """
         if until is not None and until < self._now:
             raise ValueError(
                 f"until ({until!r}) must not be in the past (now={self._now!r})"
             )
+        limit = _INF if until is None else until
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        processed = 0
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while True:
+                if self._wheel_count:
+                    self._drain_wheel()
+                # -- select the (time, eid)-least entry across queues --
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = ready.pop(0)
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    break
+                when = entry[0]
+                if when > limit:
+                    # Put the entry back (rare: at most once per run call).
+                    heapq.heappush(heap, entry)
                     self._now = until
                     return
-                self.step()
+                event = entry[2]
+                self._now = when
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if event._cancelled:
+                    continue
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise SimulationError(
+                        f"unhandled failure of {event!r}"
+                    ) from exc
         except StopEngine:
             return
+        finally:
+            self.events_processed += processed
         if until is not None:
             self._now = until
 
@@ -130,4 +313,5 @@ class Engine:
         raise StopEngine()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine t={self._now:.9f} queued={len(self._heap)}>"
+        queued = len(self._heap) + len(self._ready) + self._wheel_count
+        return f"<Engine t={self._now:.9f} queued={queued}>"

@@ -37,7 +37,7 @@ class Event:
         this engine's queue.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -47,6 +47,9 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        #: Lazy tombstone: a cancelled event stays queued but is skipped
+        #: (no callbacks) when its heap/wheel entry surfaces.
+        self._cancelled = False
 
     # -- state inspection --------------------------------------------------
     @property
@@ -101,6 +104,10 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event (chaining)."""
+        if event._ok is None:
+            # Without this guard the _PENDING sentinel would fall into
+            # fail() and surface as an unrelated TypeError.
+            raise RuntimeError("source event not yet triggered")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -145,14 +152,32 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        engine._push(self, delay=delay)
+        engine._push_timer(self, delay)
+
+    def cancel(self) -> bool:
+        """Cancel a timer that has not fired yet.
+
+        The queue entry is left in place as a tombstone — the engine
+        discards it without running callbacks when it surfaces.  Returns
+        ``True`` when the timer was still pending (now cancelled),
+        ``False`` when it had already fired; cancelling after the fact is
+        a deterministic no-op, never an error, so AnyOf losers can be
+        cancelled unconditionally.
+        """
+        if self.callbacks is None:
+            return False
+        self._cancelled = True
+        return True
 
 
 class Condition(Event):
     """Waits on a set of events until :meth:`_satisfied` holds.
 
     A failed child event fails the condition immediately (the child is
-    defused so the failure is not reported twice).
+    defused so the failure is not reported twice).  When the condition
+    resolves, its ``_check`` callback is detached from every still
+    unresolved child so an AnyOf winner does not keep the losers' callback
+    lists (and through them the condition) alive.
     """
 
     __slots__ = ("events", "_count")
@@ -161,20 +186,35 @@ class Condition(Event):
         super().__init__(engine)
         self.events: List[Event] = list(events)
         self._count = 0
-        for ev in self.events:
-            if ev.engine is not engine:
-                raise ValueError("all events must belong to the same engine")
         if not self.events:
             self.succeed({})
             return
+        check = self._check
         for ev in self.events:
+            if ev.engine is not engine:
+                raise ValueError("all events must belong to the same engine")
+            if self.triggered:
+                # Resolved while walking the children (a processed child
+                # satisfied/failed us): don't register on the rest.
+                continue
             if ev.processed:
-                self._check(ev)
+                check(ev)
             else:
-                ev.add_callback(self._check)
+                ev.add_callback(check)
 
     def _satisfied(self) -> bool:
         raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Drop our callback from children that have not resolved yet."""
+        check = self._check
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(check)
+                except ValueError:
+                    pass
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -182,10 +222,12 @@ class Condition(Event):
         if not event._ok:
             event.defuse()
             self.fail(event._value)
+            self._detach()
             return
         self._count += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._detach()
 
     def _collect(self) -> dict:
         return {

@@ -10,6 +10,8 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.stats import exact_percentile
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
 
@@ -67,7 +69,7 @@ class TimeSeries:
     def percentile(self, q: float) -> float:
         if not self._values:
             return float("nan")
-        return float(np.percentile(self._values, q))
+        return exact_percentile(self._values, q)
 
     def rate(self, since: float = 0.0, until: Optional[float] = None) -> float:
         """Sum of values per second over ``[since, until]``."""

@@ -10,7 +10,7 @@ raises (failure).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.sim.events import Event, StopEngine
 
@@ -41,15 +41,14 @@ class Process(Event):
             )
         super().__init__(engine)
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume on the next engine step at the current time.
         start = Event(engine)
         start._ok = True
         start._value = None
-        start.add_callback(self._resume)
+        start.callbacks.append(self._resume)
         engine._push(start)
-        self._waiting_on = start
+        self._waiting_on: Optional[Event] = start
 
     @property
     def is_alive(self) -> bool:
@@ -115,11 +114,12 @@ class Process(Event):
                 gen.close()
                 self.fail(exc)
                 return
-            if target.processed:
-                # Already done: continue synchronously with its outcome.
+            callbacks = target.callbacks
+            if callbacks is None:
+                # Already processed: continue synchronously with its outcome.
                 event = target
                 continue
-            target.add_callback(self._resume)
+            callbacks.append(self._resume)
             self._waiting_on = target
             return
 

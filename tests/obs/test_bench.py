@@ -48,7 +48,11 @@ def test_quick_suite_produces_schema_valid_document(tmp_path):
     validate_bench(doc)
     assert set(doc["results"]) == {c.name for c in BENCH_CASES}
     for name, result in doc["results"].items():
-        assert result["gbps"] is not None and result["gbps"] > 0, name
+        if name == "sim_kernel":
+            # Kernel microbenchmark: no data plane, so no throughput.
+            assert result["gbps"] is None
+        else:
+            assert result["gbps"] is not None and result["gbps"] > 0, name
         assert result["events"] > 0 and result["sim_time"] > 0, name
         assert result["events_per_sec"] > 0, name
     # GridFTP reports no per-block latency — null, never NaN.
@@ -139,6 +143,22 @@ def test_missing_case_is_a_regression_and_new_case_is_not():
     assert cmp.missing_cases == ["case_b"]
     assert cmp.new_cases == ["case_c"]
     assert not cmp.ok
+
+
+def test_case_filter_limits_the_gate_to_named_cases():
+    base, cur = _doc(), _doc()
+    # case_b missing AND case_a regressed — but the filter only sees case_a.
+    del cur["results"]["case_b"]
+    cur["results"]["case_a"]["gbps"] *= 0.5
+    cmp = compare_bench(base, cur, cases=["case_a"])
+    assert cmp.missing_cases == []
+    assert [(d.case, d.metric) for d in cmp.regressions] == [("case_a", "gbps")]
+    # Filtering to the intact case passes despite the other regression.
+    cur = _doc()
+    cur["results"]["case_a"]["gbps"] *= 0.5
+    assert compare_bench(base, cur, cases=["case_b"]).ok
+    with pytest.raises(ValueError, match="unknown baseline case"):
+        compare_bench(base, cur, cases=["nope"])
 
 
 def test_none_metrics_are_skipped_not_regressions():

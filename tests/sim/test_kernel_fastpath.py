@@ -1,0 +1,233 @@
+"""Kernel fast path: timer cancellation, the timer wheel, and dispatch.
+
+The contract under test is bit-identity: cancellation must not change
+the clock or the processed-event count (tombstones still dispatch), and
+an engine with the wheel disabled must produce exactly the same
+simulation as one with it enabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AnyOf, Engine
+
+
+# -- Timeout.cancel ----------------------------------------------------------
+
+def test_cancelled_timer_runs_no_callbacks(engine):
+    fired = []
+    t = engine.timeout(1.0, "late")
+    t.add_callback(lambda ev: fired.append(ev.value))
+    assert t.cancel() is True
+    engine.run()
+    assert fired == []
+    # The tombstone still advanced the clock and counted as processed.
+    assert engine.now == 1.0
+    assert engine.events_processed == 1
+
+
+def test_cancel_after_fire_is_a_deterministic_noop(engine):
+    fired = []
+    t = engine.timeout(1e-3)
+    t.add_callback(lambda ev: fired.append(ev.value))
+    engine.run()
+    assert len(fired) == 1
+    assert t.cancel() is False  # already fired: ignored, never raises
+    assert t.cancel() is False  # idempotent
+
+
+def test_cancel_is_idempotent_before_fire(engine):
+    t = engine.timeout(1.0)
+    assert t.cancel() is True
+    assert t.cancel() is True  # still pending, still cancelled
+    engine.run()
+    assert engine.now == 1.0
+
+
+def test_anyof_winner_cancels_loser_timer(engine):
+    log = []
+
+    def racer():
+        reply = engine.event()
+        timer = engine.timeout(1.0)
+        engine.process(replier(reply))
+        yield AnyOf(engine, [reply, timer])
+        assert reply.triggered
+        timer.cancel()
+        log.append(engine.now)
+
+    def replier(reply):
+        yield engine.timeout(1e-6)
+        reply.succeed("pong")
+
+    engine.process(racer())
+    engine.run()
+    assert log == [1e-6]
+    # The cancelled loser still drains as a tombstone at its due time.
+    assert engine.now == 1.0
+
+
+# -- Event.trigger guard -----------------------------------------------------
+
+def test_trigger_from_untriggered_source_raises(engine):
+    target = engine.event()
+    source = engine.event()
+    with pytest.raises(RuntimeError, match="source event not yet triggered"):
+        target.trigger(source)
+    # The target must still be usable afterwards.
+    source.succeed(7)
+    target.trigger(source)
+    engine.run()
+    assert target.value == 7
+
+
+# -- Condition detach --------------------------------------------------------
+
+def test_resolved_anyof_detaches_from_losers(engine):
+    winner = engine.event()
+    loser = engine.timeout(5.0)
+    cond = AnyOf(engine, [winner, loser])
+    assert len(loser.callbacks) == 1
+    winner.succeed("first")
+    engine.run(until=1.0)
+    # A Timeout is born triggered, so _collect includes it alongside the
+    # winner; the detach contract is about callbacks, not the value dict.
+    assert cond.processed and cond.value[winner] == "first"
+    # The condition's check callback no longer rides the pending loser.
+    assert loser.callbacks == []
+
+
+def test_failed_condition_detaches_from_pending_children(engine):
+    bad = engine.event()
+    pending = engine.timeout(5.0)
+    cond = AnyOf(engine, [bad, pending])
+    cond.defuse()
+    bad.defuse()
+    bad.fail(RuntimeError("boom"))
+    engine.run(until=1.0)
+    assert cond.processed and not cond.ok
+    assert pending.callbacks == []
+
+
+# -- wheel-on vs heap-only determinism ---------------------------------------
+
+def _mixed_workload(engine: Engine, log):
+    """Timers on and off the wheel horizon, cancellations, and races."""
+
+    def short(i):
+        for k in range(20):
+            t = engine.timeout(37e-6 + i * 3e-6)
+            t.add_callback(lambda ev, i=i, k=k: log.append(("s", i, k, engine.now)))
+            yield t
+
+    def racer(i):
+        for k in range(10):
+            reply = engine.event()
+            timer = engine.timeout(80e-6)
+            if (i + k) % 3:
+                reply.succeed(k)
+            yield AnyOf(engine, [reply, timer])
+            if reply.triggered:
+                timer.cancel()
+            log.append(("r", i, k, engine.now))
+
+    def long_timer(i):
+        for k in range(3):
+            # Far beyond the wheel horizon: exercises the heap path.
+            yield engine.timeout(0.4 + i * 1e-3)
+            log.append(("l", i, k, engine.now))
+
+    for i in range(4):
+        engine.process(short(i))
+        engine.process(racer(i))
+    engine.process(long_timer(0))
+    engine.process(long_timer(1))
+
+
+def _run_workload(use_wheel: bool):
+    engine = Engine(use_wheel=use_wheel)
+    log = []
+    _mixed_workload(engine, log)
+    engine.run()
+    return log, engine.now, engine.events_processed
+
+
+def test_wheel_and_heap_only_engines_are_bit_identical():
+    wheel = _run_workload(use_wheel=True)
+    heap = _run_workload(use_wheel=False)
+    assert wheel == heap
+
+
+def test_run_until_puts_overshooting_timer_back(engine):
+    t = engine.timeout(2.0)
+    engine.run(until=1.0)
+    assert engine.now == 1.0
+    assert not t.processed
+    engine.run()
+    assert engine.now == 2.0
+    assert t.processed
+
+
+# -- hypothesis: interleaved cancel/succeed/fail sequences -------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["timer", "cancel", "succeed", "fail", "race"]),
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=1e-6, max_value=0.3, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_interleavings_match_between_wheel_and_heap(ops):
+    def execute(use_wheel: bool):
+        engine = Engine(use_wheel=use_wheel)
+        log = []
+        timers = {}
+
+        def driver():
+            for n, (op, slot, delay) in enumerate(ops):
+                if op == "timer":
+                    t = engine.timeout(delay)
+                    t.add_callback(
+                        lambda ev, n=n: log.append(("fire", n, engine.now))
+                    )
+                    timers[slot] = t
+                elif op == "cancel":
+                    t = timers.get(slot)
+                    if t is not None:
+                        log.append(("cancel", n, t.cancel()))
+                elif op == "succeed":
+                    ev = engine.event()
+                    ev.succeed(n)
+                    yield ev
+                    log.append(("ok", n, engine.now))
+                elif op == "fail":
+                    ev = engine.event()
+                    ev.defuse()
+                    ev.fail(RuntimeError(str(n)))
+                    try:
+                        yield ev
+                    except RuntimeError:
+                        log.append(("err", n, engine.now))
+                else:  # race
+                    reply = engine.event()
+                    t = engine.timeout(delay)
+                    if slot % 2:
+                        reply.succeed(n)
+                    yield AnyOf(engine, [reply, t])
+                    if reply.triggered:
+                        t.cancel()
+                    log.append(("race", n, engine.now))
+
+        engine.process(driver())
+        engine.run()
+        return log, engine.now, engine.events_processed
+
+    assert execute(True) == execute(False)
