@@ -101,6 +101,14 @@ def _cmd_rftp(args: argparse.Namespace) -> int:
     print(f"blocks {o.blocks}  resends {o.resends}  "
           f"credit requests {o.mr_requests}  peak credits {o.peak_credits}  "
           f"RNR NAKs {o.rnr_naks}")
+    if o.fallbacks > o.repromotions:
+        # The transfer finished byte-exact but ended on the degraded TCP
+        # path: report it and exit non-zero so scripted callers (and the
+        # scheduler's retry logic) see the degradation.
+        print("warning: transfer ended degraded on the TCP fallback path "
+              f"({o.fallbacks} fallbacks, {o.repromotions} repromotions)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -277,6 +285,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _parse_tenants(text: str) -> dict:
+    """Parse 'gold:3,bronze:1' into {'gold': 3.0, 'bronze': 1.0}."""
+    tenants = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        if not name:
+            raise ValueError(f"bad tenant spec {part!r}")
+        tenants[name] = float(weight) if weight else 1.0
+    if not tenants:
+        raise ValueError("no tenants parsed")
+    return tenants
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table
+    from repro.sched import (
+        load_spec,
+        run_sched,
+        summarize,
+        synthetic_spec,
+        write_report,
+    )
+
+    if args.spec:
+        spec = load_spec(args.spec)
+    else:
+        files = args.files
+        if args.quick and args.files is None:
+            files = 1000
+        if files is None:
+            print("error: need --spec, --quick, or --files", file=sys.stderr)
+            return 2
+        spec = synthetic_spec(
+            seed=args.seed,
+            total_files=files,
+            tenants=_parse_tenants(args.tenants),
+            testbed=args.testbed,
+            doors=args.doors,
+            max_active=args.max_active,
+        )
+    result = run_sched(spec, horizon=args.horizon)
+    summary = summarize(result.jobs, result.testbed.engine)
+
+    table = Table(
+        f"Scheduler run — {result.header['testbed']}, seed {result.header['seed']}",
+        ["tenant", "jobs", "files", "finished", "failed", "canceled",
+         "retries", "goodput Gbps"],
+    )
+    for tenant, t in summary["tenants"].items():
+        table.add_row(
+            tenant, str(t["jobs"]), str(t["files"]), str(t["finished"]),
+            str(t["failed"]), str(t["canceled"]), str(t["retries"]),
+            f"{t['goodput_gbps']:.3f}",
+        )
+    table.print()
+    print(f"sim time {summary['sim_time']:.3f}s  events {summary['events']}")
+    if args.report:
+        write_report(args.report, result.jobs, result.testbed.engine,
+                     result.header)
+        print(f"wrote {args.report}")
+    if not result.all_finished:
+        bad = sum(1 for j in result.jobs if j.state.value != "FINISHED")
+        print(f"error: {bad} job(s) did not finish", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.report import Table, format_gbps
     from repro.obs.bench import bench_filename, run_bench, write_bench
@@ -422,6 +500,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
+        "sched", help="run a multi-tenant job mix through the transfer broker"
+    )
+    p.add_argument("--spec", metavar="PATH", default=None,
+                   help="job-mix spec file (JSON; see repro.sched.spec)")
+    p.add_argument("--quick", action="store_true",
+                   help="synthetic 1000-file, 2-tenant (gold:3, bronze:1) "
+                        "mix on the ANI WAN")
+    p.add_argument("--files", type=int, default=None,
+                   help="synthetic mix size (overrides --quick's 1000)")
+    p.add_argument("--tenants", default="gold:3,bronze:1",
+                   metavar="NAME:WEIGHT[,NAME:WEIGHT...]",
+                   help="synthetic mix tenants (default gold:3,bronze:1)")
+    p.add_argument("--testbed", choices=sorted(TESTBEDS), default="ani-wan",
+                   help="testbed for the synthetic mix (default: ani-wan)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--doors", type=int, default=2,
+                   help="connection sets to the server (failover alternatives)")
+    p.add_argument("--max-active", type=int, default=8,
+                   help="broker worker-pool size (concurrent sessions)")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the JSONL job report here")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="sim-time bound (default: run to completion)")
+    _add_export_args(p)
+    p.set_defaults(func=_cmd_sched)
+
+    p = sub.add_parser(
         "bench", help="run the deterministic benchmark suite, write BENCH_<date>.json"
     )
     p.add_argument("--quick", action="store_true",
@@ -473,28 +578,40 @@ def _run_with_exports(args: argparse.Namespace) -> int:
     runtime.start_collection()
     try:
         rc = args.func(args)
-        engines = runtime.collected_engines()
-        if args.metrics_out is not None:
-            n = write_metrics_jsonl(args.metrics_out, engines)
-            print(f"metrics: {n} records over {len(engines)} engine run(s) "
-                  f"-> {args.metrics_out}", file=sys.stderr)
-        if args.trace_out is not None:
-            n = write_trace_jsonl(args.trace_out, engines)
-            print(f"trace: {n} records over {len(engines)} engine run(s) "
-                  f"-> {args.trace_out}", file=sys.stderr)
     finally:
-        runtime.stop_collection()
-        runtime.install_tracer_factory(None)
+        # Exports are written even when the command raised — a failed
+        # run's metrics/trace are exactly what the caller wants to see.
+        try:
+            engines = runtime.collected_engines()
+            if args.metrics_out is not None:
+                n = write_metrics_jsonl(args.metrics_out, engines)
+                print(f"metrics: {n} records over {len(engines)} engine run(s) "
+                      f"-> {args.metrics_out}", file=sys.stderr)
+            if args.trace_out is not None:
+                n = write_trace_jsonl(args.trace_out, engines)
+                print(f"trace: {n} records over {len(engines)} engine run(s) "
+                      f"-> {args.trace_out}", file=sys.stderr)
+        finally:
+            runtime.stop_collection()
+            runtime.install_tracer_factory(None)
     return rc
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.errors import TransferError
+
     args = build_parser().parse_args(argv)
-    if getattr(args, "metrics_out", None) is not None or getattr(
-        args, "trace_out", None
-    ) is not None:
-        return _run_with_exports(args)
-    return args.func(args)
+    try:
+        if getattr(args, "metrics_out", None) is not None or getattr(
+            args, "trace_out", None
+        ) is not None:
+            return _run_with_exports(args)
+        return args.func(args)
+    except TransferError as exc:
+        # Every subcommand exits non-zero on a typed transfer failure —
+        # scripted callers and CI gate on the exit code, not the text.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -109,6 +109,12 @@ class ProtocolConfig:
     #: While degraded, periodically try to re-establish a data channel
     #: and promote the session back to RDMA (half-open probe WRITE).
     fallback_repromote: bool = True
+    #: Sink-side cap on per-session bookkeeping retained after a session
+    #: finishes or is reclaimed (the idempotent-ack ledger, restart-marker
+    #: anchors, accounting epochs).  On a long-lived link multiplexing
+    #: many short sessions this history previously grew without bound;
+    #: the oldest retired session's state is evicted beyond the cap.
+    sink_session_history: int = 4096
 
     def __post_init__(self) -> None:
         if self.block_size < 4096:
@@ -161,3 +167,5 @@ class ProtocolConfig:
             raise ValueError("breaker_rto_multiplier must be positive")
         if self.idle_rto_multiplier <= 0:
             raise ValueError("idle_rto_multiplier must be positive")
+        if self.sink_session_history < 1:
+            raise ValueError("sink_session_history must be >= 1")

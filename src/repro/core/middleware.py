@@ -219,6 +219,7 @@ class RdmaMiddleware:
         fault_injector: Any = None,
         link: Optional[SourceLink] = None,
         tcp_factory: Any = None,
+        reuse_negotiation: bool = False,
     ):
         """Process event resolving to a :class:`TransferOutcome`.
 
@@ -229,6 +230,10 @@ class RdmaMiddleware:
         ``fault_injector`` (testing): a ``(SendWR) -> bool`` installed on
         every data QP; returning True fails that WRITE transiently,
         exercising the protocol's re-send path.
+        ``reuse_negotiation`` (with an already-negotiated ``link``): skip
+        the link-level BLOCK_SIZE/CHANNELS exchanges and open the session
+        with a single SESSION_REQ round trip — the scheduler's fast path
+        for runs of small files to one peer.
         """
         session_id = next(_session_ids)
 
@@ -239,7 +244,12 @@ class RdmaMiddleware:
                     remote, port, config, fault_injector, tcp_factory
                 )
             mr_reqs_before = the_link.mr_requests_sent
-            job = yield the_link.transfer(data_source, total_bytes, session_id)
+            job = yield the_link.transfer(
+                data_source,
+                total_bytes,
+                session_id,
+                reuse_negotiation=reuse_negotiation,
+            )
             assert job.started_at is not None and job.finished_at is not None
             return TransferOutcome(
                 session_id=session_id,

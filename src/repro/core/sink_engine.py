@@ -93,6 +93,16 @@ class SinkEngine:
         #: retired — lets a retransmitted DATASET_DONE be re-acked
         #: idempotently after cleanup.
         self._acked: Dict[int, int] = {}
+        #: Ordered set (insertion-ordered dict, values unused) of retired
+        #: session ids — finished or reclaimed, no longer in
+        #: ``_expected_bytes``.  Bounds the per-session history the sink
+        #: keeps after retirement: beyond ``config.sink_session_history``
+        #: the oldest retired session's leftovers (_acked,
+        #: _consumed_bytes, session_done, marker anchors, accounting
+        #: epoch) are evicted.  A broker multiplexing thousands of short
+        #: sessions over one link would otherwise grow these dicts
+        #: without bound.
+        self._retired: Dict[int, None] = {}
         #: session id -> last control/consumption activity timestamp.
         self._last_activity: Dict[int, float] = {}
         self._consumers_started = False
@@ -251,6 +261,23 @@ class SinkEngine:
                 return
             # A finished session's id may be legitimately reused.
             self._acked.pop(msg.session_id, None)
+            # Marker-epoch guard: a *fresh* incarnation must not inherit
+            # the restart marker a reclaimed predecessor left behind
+            # (kept only to anchor SESSION_RESUME).  A stale
+            # ``_marker_upto`` would overstate this incarnation's durable
+            # prefix — a later resume would skip blocks it never wrote —
+            # and a stale ``_marker_sent`` would stall marker emission.
+            if (
+                msg.session_id in self._marker_upto
+                or msg.session_id in self._marker_sent
+            ):
+                self._marker_upto.pop(msg.session_id, None)
+                self._marker_sent.pop(msg.session_id, None)
+                self._marker_pending.pop(msg.session_id, None)
+                self._accounting_epoch[msg.session_id] = (
+                    self._accounting_epoch.get(msg.session_id, 0) + 1
+                )
+            self._retired.pop(msg.session_id, None)
             self._expected_bytes[msg.session_id] = total_bytes
             self._marker_interval[msg.session_id] = marker_interval
             self._consumed_bytes[msg.session_id] = 0
@@ -425,6 +452,7 @@ class SinkEngine:
         if old is not None and not old.triggered:
             old.fail(EndpointCrashed(sid, "superseded by session resume")).defuse()
         self._expected_bytes[sid] = total
+        self._retired.pop(sid, None)  # revived: back out of eviction order
         self._marker_interval[sid] = marker_interval
         # Accounting restarts at the marker: bytes consumed beyond it may
         # be re-delivered (overlap) and must count exactly once.
@@ -450,16 +478,21 @@ class SinkEngine:
         if not self._gc_running:
             self._gc_running = True
             self.engine.process(self._gc_thread())
-        if len(self._expected_bytes) == 1:
-            # No other live session shares the pool, so every WAITING
-            # block is a stale credit of the dead incarnation (the source
-            # flushed its ledger); revoke them before granting afresh.
-            for blk in self.pool.blocks.values():
-                if blk.state is SinkBlockState.WAITING:
-                    blk.mr.take(blk.mr.buffer.addr)
-                    blk.revoke()
-                    self.pool.put_free_blk(blk)
-            self.granter.pending_request = False
+        # Accepting the resume flushes the *entire* link ledger on the
+        # source (stale grants target regions revoked here), so every
+        # WAITING block — whichever session id its credit was stamped
+        # with — is now unreachable: no live ledger holds a credit for
+        # it.  Revoke them all before granting afresh.  Previously this
+        # ran only when no sibling session was registered, which leaked
+        # WAITING blocks for good whenever a dead-but-not-yet-reclaimed
+        # sibling was still in ``_expected_bytes`` (resume's documented
+        # contract already forbids a *healthy* concurrent sibling).
+        for blk in self.pool.blocks.values():
+            if blk.state is SinkBlockState.WAITING:
+                blk.mr.take(blk.mr.buffer.addr)
+                blk.revoke()
+                self.pool.put_free_blk(blk)
+        self.granter.pending_request = False
         initial = tuple(self.granter.initial_grant(self.config.initial_credits))
         self._resume_grants[sid] = (marker, initial)
         yield from self.ctrl.send(
@@ -527,6 +560,7 @@ class SinkEngine:
             # (the GC may have failed it if the session was reclaimed).
             self.session_done[sid] = Event(self.engine)
         self._expected_bytes[sid] = total
+        self._retired.pop(sid, None)  # revived: back out of eviction order
         self._consumed_bytes[sid] = min(marker * bs, total)
         self._accounting_epoch[sid] = self._accounting_epoch.get(sid, 0) + 1
         self._dataset_done_total.pop(sid, None)
@@ -544,17 +578,18 @@ class SinkEngine:
         if not self._gc_running:
             self._gc_running = True
             self.engine.process(self._gc_thread())
-        if len(self._expected_bytes) == 1:
-            # Sole pool user: every WAITING region is a credit the source
-            # flushed when it degraded — revoke so a later restore (or a
-            # sibling session) grants from a full pool.
-            for blk in self.pool.blocks.values():
-                if blk.state is SinkBlockState.WAITING:
-                    blk.mr.take(blk.mr.buffer.addr)
-                    blk.revoke()
-                    self.pool.put_free_blk(blk)
-            if self.granter is not None:
-                self.granter.pending_request = False
+        # Same reasoning as the resume path: the degrading source flushed
+        # its whole link ledger, so every WAITING region is a stale
+        # credit no live ledger can honour — revoke unconditionally (the
+        # old sole-pool-user guard leaked blocks while a dead sibling
+        # lingered in ``_expected_bytes``).
+        for blk in self.pool.blocks.values():
+            if blk.state is SinkBlockState.WAITING:
+                blk.mr.take(blk.mr.buffer.addr)
+                blk.revoke()
+                self.pool.put_free_blk(blk)
+        if self.granter is not None:
+            self.granter.pending_request = False
         self._fallback_streams[sid] = stream
         self._fallback_resume_seq[sid] = marker
         self._fallback_done.pop(sid, None)
@@ -726,6 +761,9 @@ class SinkEngine:
             # processes); invalidate any write in flight across the crash.
             self._accounting_epoch[sid] = self._accounting_epoch.get(sid, 0) + 1
         self._expected_bytes.clear()
+        for sid in list(self._accounting_epoch):
+            if sid not in self._retired:
+                self._retire(sid)
         self._consumed_bytes.clear()
         self._dataset_done_total.clear()
         self._last_activity.clear()
@@ -842,6 +880,30 @@ class SinkEngine:
             thread, ControlMessage(CtrlType.BLOCK_MARKER, session_id, delivered)
         )
 
+    def _retire(self, session_id: int) -> None:
+        """Register a no-longer-active session in the bounded history.
+
+        Evicts the oldest retired sessions past the configured cap —
+        dropping their idempotent-ack entries, restart-marker anchors
+        and accounting epochs.  Sessions that came back to life (in
+        ``_expected_bytes`` again) are skipped, never evicted.
+        """
+        # Re-insert at the back: retirement refreshes recency.
+        self._retired.pop(session_id, None)
+        self._retired[session_id] = None
+        while len(self._retired) > self.config.sink_session_history:
+            oldest = next(iter(self._retired))
+            del self._retired[oldest]
+            if oldest in self._expected_bytes:  # pragma: no cover - revived
+                continue
+            self._acked.pop(oldest, None)
+            self._consumed_bytes.pop(oldest, None)
+            self.session_done.pop(oldest, None)
+            self._accounting_epoch.pop(oldest, None)
+            self._marker_upto.pop(oldest, None)
+            self._marker_sent.pop(oldest, None)
+            self._marker_pending.pop(oldest, None)
+
     def _maybe_finish(self, thread, session_id: int) -> Generator:
         total = self._dataset_done_total.get(session_id)
         if total is None:
@@ -871,6 +933,7 @@ class SinkEngine:
             self._fallback_resume_seq.pop(session_id, None)
             self._accounting_epoch.pop(session_id, None)
             self.reassembly.reclaim_session(session_id)  # drops the seq cursor
+            self._retire(session_id)
             yield from self.ctrl.send(
                 thread,
                 ControlMessage(CtrlType.DATASET_DONE_ACK, session_id, total),
@@ -952,6 +1015,7 @@ class SinkEngine:
         self._fallback_streams.pop(session_id, None)
         self._fallback_done.pop(session_id, None)
         self._fallback_resume_seq.pop(session_id, None)
+        self._retire(session_id)
         done = self.session_done.get(session_id)
         if done is not None and not done.triggered:
             # Defused: reclamation is the handling — whoever polls the

@@ -274,6 +274,13 @@ class SourceLink:
         ] = {}
         self._active_jobs = 0
         self._started = False
+        #: True once a full negotiation (block size + channel count) has
+        #: succeeded on this link.  Both parameters are link-level: a
+        #: later session asking for the same ones can skip straight to
+        #: SESSION_REQ (``transfer(reuse_negotiation=True)``), trading
+        #: three control round trips for one — the difference between one
+        #: RTT and three per file on a WAN small-file run.
+        self._negotiated = False
         #: Data QPs in creation order, for fault injection by index — the
         #: live rotation in ``self.data`` shrinks as channels die.
         self._all_data_qps = list(data.qps)
@@ -325,12 +332,23 @@ class SourceLink:
             self.engine.process(self._heartbeat_thread())
 
     # -- public API --------------------------------------------------------------
-    def transfer(self, data_source: Any, total_bytes: int, session_id: int):
+    def transfer(
+        self,
+        data_source: Any,
+        total_bytes: int,
+        session_id: int,
+        reuse_negotiation: bool = False,
+    ):
         """Process event resolving to the finished :class:`TransferJob`.
 
         The process *fails* with a :class:`TransferError` subclass when the
         session aborts (timeout budgets exhausted); all pool blocks and
         credits have been reclaimed by then.
+
+        With ``reuse_negotiation`` set, a link that already completed a
+        full negotiation skips the link-level BLOCK_SIZE/CHANNELS
+        exchanges and opens the session with a single SESSION_REQ round
+        trip — the fast path for many small files to one peer.
         """
         job = TransferJob(self, session_id, total_bytes, data_source)
         if session_id in self.jobs:
@@ -338,10 +356,11 @@ class SourceLink:
         self.jobs[session_id] = job
         self._active_jobs += 1
         self._start_shared_threads()
+        skip_link_setup = reuse_negotiation and self._negotiated
 
         def _run() -> Generator:
             thread = self.host.thread(f"src-nego-{session_id}", "app")
-            yield from self._negotiate(thread, job)
+            yield from self._negotiate(thread, job, skip_link_setup=skip_link_setup)
             if not job.aborted:
                 job.started_at = self.engine.now
                 for i in range(self.config.reader_threads):
@@ -569,29 +588,36 @@ class SourceLink:
         return max(1, min(self.config.marker_interval_blocks, len(self.pool.blocks) // 8))
 
     # -- negotiation (phase 1 of §IV-C) ---------------------------------------------
-    def _negotiate(self, thread, job: TransferJob) -> Generator:
+    def _negotiate(
+        self, thread, job: TransferJob, skip_link_setup: bool = False
+    ) -> Generator:
         sid = job.session_id
-        reply = yield from self._request_reply(
-            thread, job, CtrlType.BLOCK_SIZE_REQ, job.block_size,
-            CtrlType.BLOCK_SIZE_REP,
-        )
-        if reply is None:
-            return
-        if not reply.data:
-            self._abort_job(
-                job,
-                NegotiationTimeout(sid, f"sink rejected block size {job.block_size}"),
+        if not skip_link_setup:
+            reply = yield from self._request_reply(
+                thread, job, CtrlType.BLOCK_SIZE_REQ, job.block_size,
+                CtrlType.BLOCK_SIZE_REP,
             )
-            return
-        reply = yield from self._request_reply(
-            thread, job, CtrlType.CHANNELS_REQ, len(self.data),
-            CtrlType.CHANNELS_REP,
-        )
-        if reply is None:
-            return
-        if not reply.data:
-            self._abort_job(job, NegotiationTimeout(sid, "sink rejected channel count"))
-            return
+            if reply is None:
+                return
+            if not reply.data:
+                self._abort_job(
+                    job,
+                    NegotiationTimeout(
+                        sid, f"sink rejected block size {job.block_size}"
+                    ),
+                )
+                return
+            reply = yield from self._request_reply(
+                thread, job, CtrlType.CHANNELS_REQ, len(self.data),
+                CtrlType.CHANNELS_REP,
+            )
+            if reply is None:
+                return
+            if not reply.data:
+                self._abort_job(
+                    job, NegotiationTimeout(sid, "sink rejected channel count")
+                )
+                return
         reply = yield from self._request_reply(
             thread, job,
             CtrlType.SESSION_REQ, (job.total_bytes, self._marker_interval()),
@@ -603,6 +629,7 @@ class SourceLink:
         if not accepted:
             self._abort_job(job, NegotiationTimeout(sid, "sink rejected session"))
             return
+        self._negotiated = True
 
     # -- per-job threads -----------------------------------------------------------
     def _reader_thread(self, job: TransferJob, index: int) -> Generator:

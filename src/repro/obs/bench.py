@@ -157,6 +157,44 @@ def _run_fallback_case(testbed_name: str, total_bytes: int) -> dict:
     }
 
 
+def _run_sched_case(total_files: int) -> dict:
+    """Broker-scheduled many-file job mix on the WAN testbed.
+
+    Two tenants (3:1 weights) across two doors with session reuse — the
+    scheduler-layer counterpart of the single-transfer WAN cases.  Goodput
+    aggregates every finished file; latency percentiles come from the
+    per-tenant submit-to-finish histograms.
+    """
+    from repro.obs.registry import HistogramMetric
+    from repro.sched import run_sched, synthetic_spec
+
+    spec = synthetic_spec(seed=0, total_files=total_files, doors=2)
+    result = run_sched(spec)
+    if not result.all_finished:
+        raise RuntimeError("sched bench case did not finish every job")
+    engine = result.testbed.engine
+    total_bytes = sum(
+        task.size for job in result.jobs for task in job.files
+        if task.state.value == "FINISHED"
+    )
+    gbps = None
+    if engine.now > 0:
+        gbps = total_bytes * 8 / engine.now / 1e9
+    merged = HistogramMetric.merged(
+        engine.metrics.family("sched.file_latency_seconds")
+    )
+    p50 = p99 = None
+    if merged.count:
+        p50, p99 = merged.percentile(50) * 1e6, merged.percentile(99) * 1e6
+    return {
+        "gbps": gbps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "sim_time": engine.now,
+        "events": engine.events_processed,
+    }
+
+
 def _run_sim_kernel_case(workers: int, rounds: int) -> dict:
     """Pure timer/event churn — no protocol, no hardware models.
 
@@ -268,6 +306,13 @@ BENCH_CASES: Sequence[BenchCase] = (
         },
     ),
     BenchCase(
+        "sched_10k",
+        {
+            "quick": lambda: _run_sched_case(total_files=1500),
+            "full": lambda: _run_sched_case(total_files=10_000),
+        },
+    ),
+    BenchCase(
         "sim_kernel",
         {
             "quick": lambda: _run_sim_kernel_case(workers=32, rounds=60),
@@ -289,6 +334,7 @@ def _warm_suite() -> None:
     import repro.apps.gridftp  # noqa: F401
     import repro.apps.rftp  # noqa: F401
     import repro.faults.chaos  # noqa: F401
+    import repro.sched  # noqa: F401
     import repro.sim.engine  # noqa: F401
     import repro.testbeds  # noqa: F401
 

@@ -1,0 +1,41 @@
+"""FTS-style multi-tenant transfer scheduler.
+
+The fleet-scale front door over the single-transfer middleware: a
+:class:`~repro.sched.broker.TransferBroker` accepts bulk *jobs* (many
+files, priority, tenant, ordered source alternatives) and multiplexes
+them onto a bounded pool of reused transfer sessions with weighted
+per-tenant fair share, admission control, per-destination dedupe, and
+``orderly`` multi-source failover guarded by circuit breakers.
+
+- :mod:`repro.sched.jobs` — the FTS-mirroring job/file state model
+- :mod:`repro.sched.broker` — the scheduler itself (+ doors)
+- :mod:`repro.sched.spec` — job-mix spec format and synthetic generator
+- :mod:`repro.sched.report` — deterministic JSONL job reports
+- :mod:`repro.sched.runner` — one-call spec → testbed → result harness
+"""
+
+from repro.sched.broker import BrokerConfig, RftpDoor, TenantPolicy, TransferBroker
+from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
+from repro.sched.report import report_lines, summarize, write_report
+from repro.sched.runner import SchedResult, run_sched
+from repro.sched.spec import load_spec, synthetic_spec, validate_spec
+
+__all__ = [
+    "BrokerConfig",
+    "FileState",
+    "FileTask",
+    "Job",
+    "JobState",
+    "RftpDoor",
+    "SchedResult",
+    "TenantPolicy",
+    "TransferBroker",
+    "TransferSpec",
+    "load_spec",
+    "report_lines",
+    "run_sched",
+    "summarize",
+    "synthetic_spec",
+    "validate_spec",
+    "write_report",
+]

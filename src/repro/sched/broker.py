@@ -1,0 +1,499 @@
+"""The multi-tenant transfer broker (FTS-style scheduler front door).
+
+A :class:`TransferBroker` accepts bulk :class:`~repro.sched.jobs.Job`
+submissions and multiplexes their files onto a bounded pool of transfer
+sessions across one or more *doors* — pre-opened
+:class:`~repro.core.source_link.SourceLink` connection sets to
+alternative destinations.  The pieces:
+
+- **worker pool**: at most ``max_active`` concurrent sessions overall,
+  and at most ``max_sessions`` per door (the link's pool and credit
+  ledger are shared, so per-door concurrency is what the middleware
+  already supports via multi-session links);
+- **dedupe**: a second submission for a destination path already queued
+  or in flight attaches to the primary and mirrors its outcome instead
+  of transferring twice;
+- **fair share**: stride scheduling over tenants — each dispatch charges
+  the tenant ``1/weight``, the runnable tenant with the lowest
+  accumulated pass goes next — with per-tenant in-flight caps and
+  admission control (a submission that would overflow the tenant's queue
+  is rejected whole, files CANCELED);
+- **orderly failover**: on a typed
+  :class:`~repro.core.errors.TransferError` the file's alternatives
+  cursor advances and the next admissible door is tried, skipping doors
+  whose broker-level circuit breaker is OPEN or whose data channels are
+  all quarantined (PR 4's :class:`~repro.core.health.ChannelBreaker`);
+- **session reuse**: transfers run with ``reuse_negotiation=True``, so
+  after a door's first session the per-file cost is one SESSION_REQ
+  round trip instead of three — the difference between 1×RTT and 3×RTT
+  per small file on the WAN.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TransferError
+from repro.core.health import BreakerState, ChannelBreaker
+from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
+from repro.sim.events import Event
+
+__all__ = ["TenantPolicy", "BrokerConfig", "RftpDoor", "TransferBroker"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant scheduling contract."""
+
+    #: Fair-share weight: a weight-3 tenant gets 3× the dispatch slots of
+    #: a weight-1 tenant while both have work queued.
+    weight: float = 1.0
+    #: Concurrent transfers this tenant may hold (admission: queue).
+    max_inflight: int = 8
+    #: Queued (not yet dispatched) files beyond which a new submission is
+    #: rejected whole (admission: reject).
+    max_queued: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Broker-wide knobs."""
+
+    #: Global concurrent-session ceiling (the worker pool size).
+    max_active: int = 8
+    #: Transfer attempts per file (first try included) before FAILED.
+    max_attempts: int = 4
+    #: Wait before re-queuing a file whose attempt failed.
+    retry_backoff: float = 0.5
+    #: Wait before re-queuing a file that found no admissible door.
+    blocked_retry: float = 0.25
+    #: Consecutive failures that trip a door's breaker OPEN.
+    breaker_failures: int = 2
+    #: Door-breaker quarantine, seconds.
+    breaker_cooldown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.retry_backoff < 0 or self.blocked_retry <= 0:
+            raise ValueError("retry timings must be positive")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+
+
+class RftpDoor:
+    """One alternative destination: a named, pre-opened connection set.
+
+    Wraps a client middleware plus the :class:`SourceLink` it opened to
+    one server endpoint.  The broker treats doors as the units of
+    ``orderly`` failover — a file's ``sources`` list names them in
+    preference order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        middleware: Any,
+        remote_dev: Any,
+        port: int,
+        data_source: Any,
+        max_sessions: int = 4,
+        tcp_factory: Any = None,
+        fault_injector: Any = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.name = name
+        self.middleware = middleware
+        self.remote_dev = remote_dev
+        self.port = port
+        self.data_source = data_source
+        self.max_sessions = max_sessions
+        self.tcp_factory = tcp_factory
+        self.fault_injector = fault_injector
+        self.link = None
+        self.active = 0
+        #: Broker-level breaker over whole-transfer outcomes on this
+        #: door (distinct from the link's per-QP channel breakers).
+        self.breaker: Optional[ChannelBreaker] = None
+
+    def open(self):
+        """Process event resolving to the door's link (idempotent)."""
+        mw = self.middleware
+
+        def _open():
+            if self.link is None:
+                self.link = yield mw.open_link(
+                    self.remote_dev,
+                    self.port,
+                    fault_injector=self.fault_injector,
+                    tcp_factory=self.tcp_factory,
+                )
+            return self.link
+
+        return mw.engine.process(_open())
+
+    def channels_quarantined(self, now: float) -> bool:
+        """True when every live data channel's breaker is OPEN — the
+        scheduler-level signal to prefer another door right now."""
+        if self.link is None:
+            return False
+        breakers = [
+            self.link._breakers.get(qp.qp_num) for qp in self.link.data.qps
+        ]
+        if not breakers:
+            return True  # no live channel at all
+        return all(
+            b is not None
+            and b.state is BreakerState.OPEN
+            and now < b.open_until
+            for b in breakers
+        )
+
+    def admissible(self, now: float) -> bool:
+        if self.link is None or self.active >= self.max_sessions:
+            return False
+        if self.breaker is not None and not self.breaker.peek_admit(now):
+            return False
+        return not self.channels_quarantined(now)
+
+    def transfer(self, task: FileTask):
+        """Process event for one file transfer through this door."""
+        assert self.link is not None, "door not opened"
+        return self.middleware.transfer(
+            self.remote_dev,
+            self.port,
+            self.data_source,
+            task.size,
+            link=self.link,
+            reuse_negotiation=True,
+        )
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    #: Stride-scheduling accumulated pass; lowest runnable goes next.
+    pass_value: float = 0.0
+    #: Min-heap of (-priority, fifo_seq, task).
+    queue: List[Tuple[int, int, FileTask]] = field(default_factory=list)
+    inflight: int = 0
+    #: Files currently waiting in a retry/blocked backoff timer.
+    parked: int = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self.queue)
+
+
+class TransferBroker:
+    """Accepts jobs, schedules their files across the doors."""
+
+    def __init__(
+        self,
+        engine: Any,
+        doors: Sequence[RftpDoor],
+        config: Optional[BrokerConfig] = None,
+        tenants: Optional[Dict[str, TenantPolicy]] = None,
+    ) -> None:
+        if not doors:
+            raise ValueError("broker needs at least one door")
+        names = [d.name for d in doors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate door names: {names}")
+        self.engine = engine
+        self.config = config or BrokerConfig()
+        self.doors: Dict[str, RftpDoor] = {d.name: d for d in doors}
+        for door in doors:
+            door.breaker = ChannelBreaker(
+                0,
+                self.config.breaker_failures,
+                lambda: self.config.breaker_cooldown,
+            )
+        self._tenants: Dict[str, _TenantState] = {}
+        for name, policy in (tenants or {}).items():
+            self._tenants[name] = _TenantState(policy=policy)
+        self.jobs: List[Job] = []
+        self._fifo = itertools.count()
+        self._job_ids = itertools.count(1)
+        #: Destination path -> live (non-terminal) primary task, for dedupe.
+        self._dest_owner: Dict[str, FileTask] = {}
+        self._active = 0
+        self._outstanding = 0  #: non-terminal primary tasks
+        self._loop_running = False
+        self._wake: Optional[Event] = None
+
+        reg = engine.metrics
+        self._m_jobs_submitted = reg.counter("sched.jobs_submitted")
+        self._m_jobs_rejected = reg.counter("sched.jobs_rejected")
+        self._m_dedup_hits = reg.counter("sched.dedup_hits")
+        self._m_blocked = reg.counter("sched.dispatch_blocked")
+        self._per_tenant_metrics: Dict[str, dict] = {}
+        reg.gauge_fn("sched.active_transfers", lambda: self._active)
+        reg.gauge_fn("sched.outstanding_files", lambda: self._outstanding)
+
+    # -- per-tenant plumbing -----------------------------------------------------
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(policy=TenantPolicy())
+            self._tenants[name] = state
+        return state
+
+    def _metrics(self, tenant: str) -> dict:
+        m = self._per_tenant_metrics.get(tenant)
+        if m is None:
+            reg = self.engine.metrics
+            state = self._tenant(tenant)
+            m = {
+                "files_finished": reg.counter("sched.files_finished", tenant=tenant),
+                "files_failed": reg.counter("sched.files_failed", tenant=tenant),
+                "files_canceled": reg.counter("sched.files_canceled", tenant=tenant),
+                "retries": reg.counter("sched.retries", tenant=tenant),
+                "bytes_finished": reg.counter("sched.bytes_finished", tenant=tenant),
+                "queue_wait": reg.histogram("sched.queue_wait_seconds", tenant=tenant),
+                "latency": reg.histogram("sched.file_latency_seconds", tenant=tenant),
+            }
+            reg.gauge_fn(
+                "sched.inflight", lambda s=state: s.inflight, tenant=tenant
+            )
+            reg.gauge_fn(
+                "sched.queued", lambda s=state: s.queued, tenant=tenant
+            )
+            self._per_tenant_metrics[tenant] = m
+        return m
+
+    # -- submission --------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        files: Sequence[TransferSpec],
+        priority: int = 0,
+        job_id: Optional[str] = None,
+    ) -> Job:
+        """Accept (or reject) one bulk submission.  Returns the job with
+        its ``done`` event wired; a rejected job comes back already
+        CANCELED with the event triggered."""
+        if not files:
+            raise ValueError("a job needs at least one file")
+        if job_id is None:
+            job_id = f"job-{next(self._job_ids)}"
+        job = Job.build(job_id, tenant, files, priority)
+        now = self.engine.now
+        job.submitted_at = now
+        job.done = Event(self.engine)
+        self.jobs.append(job)
+        self._m_jobs_submitted.add()
+        metrics = self._metrics(tenant)
+        state = self._tenant(tenant)
+
+        primaries = [
+            t for t in job.files
+            if self._dest_owner.get(t.path) is None
+            or self._dest_owner[t.path].state.terminal
+        ]
+        backlog = state.queued + state.parked
+        if backlog + len(primaries) > state.policy.max_queued:
+            # Admission control: reject the submission whole rather than
+            # accept a prefix the tenant cannot distinguish.
+            self._m_jobs_rejected.add()
+            metrics["files_canceled"].add(len(job.files))
+            job.state = JobState.CANCELED
+            for task in job.files:
+                task.state = FileState.CANCELED
+                task.submitted_at = now
+                task.finished_at = now
+                task.error = (
+                    f"tenant {tenant!r} queue full "
+                    f"({backlog}+{len(primaries)} > {state.policy.max_queued})"
+                )
+            job.finished_at = now
+            job.done.succeed(job)
+            self.engine.trace(
+                "sched", "job_rejected", job=job_id, tenant=tenant,
+                files=len(job.files),
+            )
+            return job
+
+        for task in job.files:
+            task.submitted_at = now
+            owner = self._dest_owner.get(task.path)
+            if owner is not None and not owner.state.terminal:
+                # Duplicate submission for an in-flight destination: ride
+                # along on the primary instead of transferring twice.
+                task.duplicate_of = owner
+                owner.duplicates.append(task)
+                self._m_dedup_hits.add()
+                continue
+            self._dest_owner[task.path] = task
+            self._outstanding += 1
+            heapq.heappush(
+                state.queue, (-job.priority, next(self._fifo), task)
+            )
+        job._note_progress()  # all-duplicate jobs may already be terminal
+        self.engine.trace(
+            "sched", "job_submitted", job=job_id, tenant=tenant,
+            files=len(job.files), priority=job.priority,
+        )
+        self._kick()
+        return job
+
+    # -- dispatch ----------------------------------------------------------------
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+        if not self._loop_running and self._outstanding > 0:
+            self._loop_running = True
+            self.engine.process(self._dispatch_loop())
+
+    def _runnable_tenant(self) -> Optional[str]:
+        """The stride pick: lowest pass among tenants with queued work
+        and spare in-flight capacity (name breaks ties, deterministic)."""
+        best: Optional[str] = None
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            if not state.queue or state.inflight >= state.policy.max_inflight:
+                continue
+            if best is None or state.pass_value < self._tenants[best].pass_value:
+                best = name
+        return best
+
+    def _pick_door(self, task: FileTask) -> Optional[RftpDoor]:
+        """First admissible door from the task's alternatives, walking
+        ``orderly`` from the failure cursor."""
+        names = task.spec.sources or tuple(self.doors)
+        now = self.engine.now
+        n = len(names)
+        for i in range(n):
+            name = names[(task.alt_cursor + i) % n]
+            door = self.doors.get(name)
+            if door is not None and door.admissible(now):
+                if i:
+                    task.alt_cursor = (task.alt_cursor + i) % n
+                return door
+        return None
+
+    def _dispatch_loop(self):
+        while self._outstanding > 0:
+            while self._active < self.config.max_active:
+                tenant_name = self._runnable_tenant()
+                if tenant_name is None:
+                    break
+                state = self._tenants[tenant_name]
+                _neg_prio, _seq, task = heapq.heappop(state.queue)
+                door = self._pick_door(task)
+                if door is None:
+                    # Every alternative is quarantined or saturated: park
+                    # the file and retry shortly, without burning a slot
+                    # or charging the tenant's stride pass.
+                    self._m_blocked.add()
+                    state.parked += 1
+                    self.engine.process(self._requeue_later(
+                        task, self.config.blocked_retry, parked=state
+                    ))
+                    continue
+                state.pass_value += 1.0 / state.policy.weight
+                state.inflight += 1
+                self._active += 1
+                door.active += 1
+                task.state = FileState.READY
+                self.engine.process(self._run_task(task, state, door))
+            self._wake = Event(self.engine)
+            if self._outstanding == 0:
+                break
+            yield self._wake
+        self._loop_running = False
+
+    def _requeue_later(self, task: FileTask, delay: float, parked=None):
+        yield self.engine.timeout(delay)
+        if parked is not None:
+            parked.parked -= 1
+        if task.state.terminal:
+            return
+        task.state = FileState.SUBMITTED
+        state = self._tenant(task.job.tenant)
+        heapq.heappush(
+            state.queue, (-task.job.priority, next(self._fifo), task)
+        )
+        self._kick()
+
+    def _run_task(self, task: FileTask, state: _TenantState, door: RftpDoor):
+        metrics = self._metrics(task.job.tenant)
+        now = self.engine.now
+        if task.started_at is None:
+            task.started_at = now
+            metrics["queue_wait"].observe(now - task.submitted_at)
+        task.state = FileState.ACTIVE
+        task.job._note_progress()
+        task.attempts += 1
+        if task.attempts > 1:
+            metrics["retries"].add()
+        error: Optional[TransferError] = None
+        try:
+            yield door.transfer(task)
+        except TransferError as exc:
+            error = exc
+        now = self.engine.now
+        state.inflight -= 1
+        self._active -= 1
+        door.active -= 1
+        if error is None:
+            door.breaker.record_success()
+            self._outstanding -= 1
+            metrics["files_finished"].add()
+            metrics["bytes_finished"].add(task.size)
+            metrics["latency"].observe(now - task.submitted_at)
+            task.resolve(FileState.FINISHED, now, source_used=door.name)
+            self._finish_job(task.job)
+            for dup in task.duplicates:
+                self._finish_job(dup.job)
+            self.engine.trace(
+                "sched", "file_finished", job=task.job.job_id,
+                path=task.path, door=door.name, attempts=task.attempts,
+            )
+        else:
+            door.breaker.record_failure(now)
+            task.alt_cursor += 1  # orderly: next alternative first
+            self.engine.trace(
+                "sched", "file_attempt_failed", job=task.job.job_id,
+                path=task.path, door=door.name, attempts=task.attempts,
+                error=type(error).__name__,
+            )
+            if task.attempts >= self.config.max_attempts:
+                self._outstanding -= 1
+                metrics["files_failed"].add()
+                task.resolve(
+                    FileState.FAILED, now,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                self._finish_job(task.job)
+                for dup in task.duplicates:
+                    self._finish_job(dup.job)
+            else:
+                state.parked += 1
+                self.engine.process(self._requeue_later(
+                    task, self.config.retry_backoff, parked=state
+                ))
+        self._kick()
+
+    def _finish_job(self, job: Job) -> None:
+        if job.state.terminal and job.finished_at is None:
+            job.finished_at = self.engine.now
+            self.engine.trace(
+                "sched", "job_done", job=job.job_id, state=job.state.value
+            )

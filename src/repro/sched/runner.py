@@ -1,0 +1,165 @@
+"""Wire a job-mix spec onto a testbed and run it to completion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.apps.io import ZeroSource
+from repro.apps.rftp import RftpServer
+from repro.core import ProtocolConfig, RdmaMiddleware
+from repro.sched.broker import BrokerConfig, RftpDoor, TenantPolicy, TransferBroker
+from repro.sched.jobs import Job, TransferSpec
+from repro.sched.spec import validate_spec
+from repro.testbeds import TESTBEDS, Testbed
+
+__all__ = ["SchedResult", "run_sched"]
+
+_PORT = 2811
+
+#: FaultPlan fields a spec's ``faults`` object may set (scheduled and
+#: probabilistic seams both; anything else in the object is an error so
+#: a typo'd key fails loudly instead of silently doing nothing).
+_FAULT_KEYS = {
+    "seed", "write_fault_rate", "ctrl_drop_rate", "ctrl_delay_rate",
+    "ctrl_delay_seconds", "link_flaps", "latency_spike_rate",
+    "latency_spike_seconds", "payload_corrupt_rate", "sink_crashes",
+    "source_crashes", "qp_kills", "heartbeat_drop_rate", "fallback_deny",
+}
+
+
+@dataclass
+class SchedResult:
+    """One completed broker run."""
+
+    jobs: List[Job]
+    broker: TransferBroker
+    testbed: Testbed
+    header: Dict[str, Any]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(j.state.value == "FINISHED" for j in self.jobs)
+
+
+def _build_fault_plan(obj: Dict[str, Any]):
+    from repro.faults.plan import FaultPlan
+
+    unknown = set(obj) - _FAULT_KEYS
+    if unknown:
+        raise ValueError(f"unknown fault keys: {sorted(unknown)}")
+    kwargs = dict(obj)
+    for key in ("link_flaps", "qp_kills"):
+        if key in kwargs:
+            kwargs[key] = tuple(tuple(item) for item in kwargs[key])
+    for key in ("sink_crashes", "source_crashes"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return FaultPlan(**kwargs)
+
+
+def run_sched(
+    spec: Dict[str, Any],
+    config: Optional[ProtocolConfig] = None,
+    horizon: Optional[float] = None,
+) -> SchedResult:
+    """Run one job-mix spec; returns once the engine drains (or hits
+    ``horizon``).  Deterministic: the same spec (and seed) produces the
+    same schedule, the same job states, and the same report bytes.
+    """
+    validate_spec(spec)
+    testbed_name = spec.get("testbed", "ani-wan")
+    if testbed_name not in TESTBEDS:
+        raise ValueError(f"unknown testbed {testbed_name!r}")
+    seed = int(spec.get("seed", 0))
+    testbed = TESTBEDS[testbed_name](seed=seed)
+    engine = testbed.engine
+    cfg = config or ProtocolConfig()
+
+    injector = None
+    if spec.get("faults"):
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(_build_fault_plan(spec["faults"]))
+        injector.arm_network(testbed)
+
+    server = RftpServer(testbed, cfg)
+    server.start(_PORT)
+    client_mw = RdmaMiddleware(testbed.src, testbed.src_dev, testbed.cm, cfg)
+    source = ZeroSource(testbed.src)
+
+    n_doors = int(spec.get("doors", 1))
+    door_sessions = int(spec.get("door_sessions", 4))
+    doors = [
+        RftpDoor(
+            f"door-{i}",
+            client_mw,
+            testbed.dst_dev,
+            _PORT,
+            source,
+            max_sessions=door_sessions,
+            tcp_factory=testbed.tcp_connection,
+            # Chaos kills land on door 0's connection set: the broker
+            # must fail the mid-job transfers over to the other doors.
+            fault_injector=injector if i == 0 else None,
+        )
+        for i in range(n_doors)
+    ]
+    broker_cfg = BrokerConfig(max_active=int(spec.get("max_active", 8)))
+    tenants = {
+        name: TenantPolicy(
+            weight=float(t.get("weight", 1.0)),
+            max_inflight=int(t.get("max_inflight", broker_cfg.max_active)),
+            max_queued=int(t.get("max_queued", 100_000)),
+        )
+        for name, t in spec.get("tenants", {}).items()
+    }
+    broker = TransferBroker(engine, doors, broker_cfg, tenants)
+
+    job_specs = spec["jobs"]
+
+    def _main():
+        for door in doors:
+            yield door.open()
+        if injector is not None:
+            injector.arm_source(doors[0].link)
+        for i, js in enumerate(job_specs):
+            engine.process(_submit(i, js))
+
+    def _submit(index: int, js: Dict[str, Any]):
+        delay = float(js.get("submit_at", 0.0))
+        yield engine.timeout(delay)
+        files = [
+            TransferSpec(
+                path=f["path"],
+                size=int(f["size"]),
+                sources=tuple(f.get("sources", ())),
+            )
+            for f in js["files"]
+        ]
+        broker.submit(
+            js.get("tenant", "default"),
+            files,
+            priority=int(js.get("priority", 0)),
+            job_id=js.get("job_id", f"job-{index + 1:04d}"),
+        )
+
+    engine.process(_main())
+    engine.run(until=horizon)
+
+    header = {
+        "testbed": testbed_name,
+        "seed": seed,
+        "max_active": broker_cfg.max_active,
+        "doors": n_doors,
+        "door_sessions": door_sessions,
+        "tenants": {
+            name: {"weight": t.policy.weight,
+                   "max_inflight": t.policy.max_inflight,
+                   "max_queued": t.policy.max_queued}
+            for name, t in sorted(broker._tenants.items())
+        },
+        "faults": bool(injector is not None),
+    }
+    return SchedResult(jobs=broker.jobs, broker=broker,
+                       testbed=testbed, header=header)

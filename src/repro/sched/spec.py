@@ -1,0 +1,132 @@
+"""Job-mix specifications: the input format of ``repro sched``.
+
+A spec is a plain dict (JSON-serialisable) describing one broker run —
+testbed, seed, broker knobs, doors, tenants, and the submission
+schedule.  :func:`synthetic_spec` generates a deterministic mix from a
+seed, used by ``repro sched --quick`` and the ``sched_10k`` bench case.
+
+Format::
+
+    {
+      "testbed": "ani-wan",
+      "seed": 0,
+      "max_active": 8,
+      "doors": 2,                  # connection sets to the server
+      "door_sessions": 4,          # concurrent sessions per door
+      "tenants": {
+        "gold":   {"weight": 3.0, "max_inflight": 8, "max_queued": 100000},
+        "bronze": {"weight": 1.0, "max_inflight": 8, "max_queued": 100000}
+      },
+      "jobs": [
+        {"tenant": "gold", "priority": 0, "submit_at": 0.0,
+         "files": [{"path": "/data/gold/f0", "size": 4194304,
+                    "sources": ["door-0", "door-1"]}, ...]},
+        ...
+      ],
+      "faults": {"source_crashes": [12.5], "seed": 0}   # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional
+
+__all__ = ["load_spec", "validate_spec", "synthetic_spec"]
+
+MiB = 1024 * 1024
+
+#: Small-file palette for the synthetic mix (bytes).  Small on purpose:
+#: the scheduler's value is amortising negotiation and multiplexing many
+#: sessions, which only shows on runs of small files.
+_SIZE_PALETTE = (1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB)
+
+
+def load_spec(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    validate_spec(spec)
+    return spec
+
+
+def validate_spec(spec: Dict[str, Any]) -> None:
+    if not isinstance(spec, dict):
+        raise ValueError("spec must be a JSON object")
+    jobs = spec.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ValueError("spec needs a non-empty 'jobs' list")
+    tenants = spec.get("tenants", {})
+    if not isinstance(tenants, dict):
+        raise ValueError("'tenants' must be an object")
+    for i, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise ValueError(f"jobs[{i}] must be an object")
+        files = job.get("files")
+        if not isinstance(files, list) or not files:
+            raise ValueError(f"jobs[{i}] needs a non-empty 'files' list")
+        for j, f in enumerate(files):
+            if not isinstance(f, dict) or "path" not in f or "size" not in f:
+                raise ValueError(f"jobs[{i}].files[{j}] needs 'path' and 'size'")
+    doors = spec.get("doors", 1)
+    if not isinstance(doors, int) or doors < 1:
+        raise ValueError("'doors' must be a positive integer")
+
+
+def synthetic_spec(
+    seed: int = 0,
+    total_files: int = 1000,
+    tenants: Optional[Dict[str, float]] = None,
+    testbed: str = "ani-wan",
+    doors: int = 2,
+    max_active: int = 8,
+    files_per_job: int = 20,
+) -> Dict[str, Any]:
+    """A deterministic ≥2-tenant small-file job mix.
+
+    ``tenants`` maps tenant name to fair-share weight (default
+    ``{"gold": 3.0, "bronze": 1.0}`` — the 3:1 contention mix the tests
+    assert on).  Files are split round-robin into jobs of
+    ``files_per_job``; all jobs are submitted at t=0 so the tenants
+    genuinely contend for the worker pool.
+    """
+    if total_files < 1:
+        raise ValueError("total_files must be >= 1")
+    weights = tenants or {"gold": 3.0, "bronze": 1.0}
+    rng = random.Random(seed)
+    door_names = [f"door-{i}" for i in range(doors)]
+    names = sorted(weights)
+    per_tenant = {name: total_files // len(names) for name in names}
+    for i in range(total_files % len(names)):
+        per_tenant[names[i]] += 1
+    jobs: List[Dict[str, Any]] = []
+    for name in names:
+        count = per_tenant[name]
+        files: List[Dict[str, Any]] = []
+        for i in range(count):
+            files.append({
+                "path": f"/data/{name}/f{i:06d}",
+                "size": rng.choice(_SIZE_PALETTE),
+                "sources": door_names,
+            })
+        for start in range(0, count, files_per_job):
+            jobs.append({
+                "tenant": name,
+                "priority": 0,
+                "submit_at": 0.0,
+                "files": files[start:start + files_per_job],
+            })
+    spec = {
+        "testbed": testbed,
+        "seed": seed,
+        "max_active": max_active,
+        "doors": doors,
+        "door_sessions": 4,
+        "tenants": {
+            name: {"weight": w, "max_inflight": max_active, "max_queued": 10 ** 9}
+            for name, w in weights.items()
+        },
+        "jobs": jobs,
+    }
+    validate_spec(spec)
+    return spec

@@ -1,0 +1,113 @@
+"""Broker-adjacent seams: several interleaved sessions per peer.
+
+Covers the cross-session accounting audited for the scheduler work: a
+resume next to a lingering dead sibling must revoke *every* stale
+WAITING block (not just when it is the only session), and the sink's
+per-session bookkeeping must stay bounded on long-lived links that
+carry thousands of short sessions.
+"""
+
+import pytest
+
+from repro.apps.io import CollectingSink, PatternSource
+from repro.core import ProtocolConfig, RdmaMiddleware
+from repro.testbeds import roce_lan
+
+BS = 256 * 1024
+
+
+def cfg(**over):
+    base = dict(
+        block_size=BS,
+        num_channels=2,
+        source_blocks=12,
+        sink_blocks=12,
+        heartbeats=False,
+        session_idle_timeout=0.5,
+        idle_rto_multiplier=4.0,
+    )
+    base.update(over)
+    return ProtocolConfig(**base)
+
+
+def wire(tb, c):
+    server = RdmaMiddleware(tb.dst, tb.dst_dev, tb.cm, c)
+    sink = CollectingSink(tb.dst)
+    server.serve(4000, sink)
+    client = RdmaMiddleware(tb.src, tb.src_dev, tb.cm, c)
+    return server, sink, client
+
+
+def test_resume_next_to_lingering_dead_sibling_leaks_nothing():
+    """Two sessions die together when the source crashes; one resumes
+    while the other still sits in the sink's session table awaiting GC.
+    The resume flushes the shared credit ledger, so every WAITING block
+    at the sink is stale — including the sibling's.  Pre-fix, blocks were
+    only revoked when the resuming session was *alone*, leaking the
+    sibling's parked blocks until the pool starved."""
+    tb = roce_lan()
+    c = cfg()
+    server, sink, client = wire(tb, c)
+
+    def driver(env):
+        link = yield client.open_link(tb.dst_dev, 4000, c)
+        se = server.sink_engines[link._client_id]
+        evs = [
+            link.transfer(PatternSource(tb.src), 8 * BS, session_id=100),
+            link.transfer(PatternSource(tb.src), 8 * BS, session_id=101),
+        ]
+        yield env.timeout(5e-4)
+        link.crash()
+        for ev in evs:
+            ev.defuse()
+        yield env.timeout(0.01)
+        # Precondition: the sibling is still on the sink's books.
+        assert 101 in se._expected_bytes
+        res = yield link.resume(PatternSource(tb.src), 8 * BS, 100)
+        assert res.start_seq < 8  # re-attached, suffix re-sent
+        seqs = sorted({h.seq for h, _ in sink.deliveries
+                       if h.session_id == 100})
+        assert seqs == list(range(8))
+        return True
+
+    p = tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    assert p.ok and p.value
+    se = next(iter(server.sink_engines.values()))
+    # The dead sibling was GC-reclaimed and nothing pins the pool.
+    assert not se._expected_bytes
+    assert se.sessions_reclaimed >= 1
+    assert se.pool.free_count == len(se.pool)
+
+
+def test_sink_session_history_is_bounded():
+    """A long-lived link carrying many short sessions must not grow the
+    sink's per-session dicts without bound: retired sessions past the
+    configured cap are evicted oldest-first."""
+    tb = roce_lan()
+    c = cfg(sink_session_history=2)
+    server, sink, client = wire(tb, c)
+
+    def driver(env):
+        link = yield client.open_link(tb.dst_dev, 4000, c)
+        for _ in range(5):
+            yield client.transfer(
+                tb.dst_dev, 4000, PatternSource(tb.src), 4 * BS, link=link
+            )
+        return True
+
+    p = tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    assert p.ok and p.value
+    assert sink.bytes_written == 5 * 4 * BS
+    se = next(iter(server.sink_engines.values()))
+    assert len(se._retired) <= 2
+    # The observability leftovers honour the same cap.
+    assert len(se._acked) <= 2
+    assert len(se._consumed_bytes) <= 2
+    assert len(se.session_done) <= 2
+
+
+def test_sink_session_history_validates():
+    with pytest.raises(ValueError):
+        ProtocolConfig(sink_session_history=0)

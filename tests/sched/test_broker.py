@@ -1,0 +1,142 @@
+"""Broker mechanics: dedupe, admission control, and the job state model."""
+
+import pytest
+
+from repro.apps.rftp import RftpClient, RftpServer
+from repro.sched import (
+    BrokerConfig,
+    FileState,
+    JobState,
+    TenantPolicy,
+    TransferSpec,
+)
+from repro.testbeds import roce_lan
+
+MiB = 1 << 20
+
+
+def wire(tb):
+    server = RftpServer(tb)
+    server.start(2811)
+    return server, RftpClient(tb)
+
+
+def test_duplicate_destination_rides_along_on_the_primary():
+    """Two submissions for one destination path transfer ONCE; the
+    duplicate mirrors the primary's outcome without its own session."""
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(doors=1)
+        j1 = broker.submit("t", [TransferSpec("/data/a", 2 * MiB)])
+        j2 = broker.submit("t", [TransferSpec("/data/a", 2 * MiB),
+                                 TransferSpec("/data/b", 2 * MiB)])
+        yield j1.done
+        yield j2.done
+        out.update(broker=broker, j1=j1, j2=j2)
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    j1, j2, broker = out["j1"], out["j2"], out["broker"]
+    assert j1.state is JobState.FINISHED and j2.state is JobState.FINISHED
+    dup = j2.files[0]
+    assert dup.duplicate_of is j1.files[0]
+    assert dup.attempts == 0  # never transferred on its own
+    assert dup.state is FileState.FINISHED
+    assert broker._m_dedup_hits.count == 1
+    # The primary and the non-duplicate file each ran exactly once.
+    assert j1.files[0].attempts == 1 and j2.files[1].attempts == 1
+
+
+def test_dedupe_window_closes_when_the_primary_finishes():
+    """Back-to-back submissions for the same path after the first
+    finished are fresh transfers, not dedupe hits (the file may have
+    changed; also the seam for the sid-reuse marker guard)."""
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(doors=1)
+        j1 = broker.submit("t", [TransferSpec("/data/a", 2 * MiB)])
+        yield j1.done
+        j2 = broker.submit("t", [TransferSpec("/data/a", 2 * MiB)])
+        yield j2.done
+        out.update(broker=broker, j1=j1, j2=j2)
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    assert out["broker"]._m_dedup_hits.count == 0
+    assert out["j2"].files[0].attempts == 1
+    assert out["j2"].state is JobState.FINISHED
+
+
+def test_admission_control_rejects_overflow_submissions_whole():
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(
+            doors=1,
+            tenants={"t": TenantPolicy(max_queued=2)},
+        )
+        files = [TransferSpec(f"/data/f{i}", MiB) for i in range(3)]
+        rejected = broker.submit("t", files)
+        # Rejection is immediate and whole: the event is already up.
+        assert rejected.done.triggered
+        out["rejected"] = rejected
+        accepted = broker.submit("t", files[:2])
+        yield accepted.done
+        out.update(broker=broker, accepted=accepted)
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    rejected, accepted = out["rejected"], out["accepted"]
+    assert rejected.state is JobState.CANCELED
+    assert all(t.state is FileState.CANCELED for t in rejected.files)
+    assert all("queue full" in t.error for t in rejected.files)
+    assert accepted.state is JobState.FINISHED
+    assert out["broker"]._m_jobs_rejected.count == 1
+
+
+def test_sessions_reuse_negotiation_on_a_door():
+    """After a door's first file, later files skip the link-level
+    negotiation: no extra QPs, and the link is flagged negotiated."""
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(doors=1)
+        qps_after_open = len(tb.src_dev.qps)
+        job = broker.submit(
+            "t", [TransferSpec(f"/data/f{i}", MiB) for i in range(6)]
+        )
+        yield job.done
+        out["job"] = job
+        out["same_qps"] = len(tb.src_dev.qps) == qps_after_open
+        out["negotiated"] = next(iter(broker.doors.values())).link._negotiated
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    assert out["job"].state is JobState.FINISHED
+    assert out["same_qps"]  # six files, one connection set
+    assert out["negotiated"]
+
+
+def test_broker_and_policy_validation():
+    with pytest.raises(ValueError):
+        TenantPolicy(weight=0)
+    with pytest.raises(ValueError):
+        TenantPolicy(max_inflight=0)
+    with pytest.raises(ValueError):
+        BrokerConfig(max_active=0)
+    with pytest.raises(ValueError):
+        BrokerConfig(max_attempts=0)
+    with pytest.raises(ValueError):
+        TransferSpec("", MiB)
+    with pytest.raises(ValueError):
+        TransferSpec("/data/a", 0)

@@ -1,0 +1,50 @@
+"""Orderly multi-source failover: a crashed door's files finish through
+the alternatives, walked in preference order."""
+
+from repro.sched import run_sched
+
+
+def _spec(crash_at):
+    files = [
+        {"path": f"/data/f{i:03d}", "size": 1 << 20,
+         "sources": ["door-0", "door-1"]}
+        for i in range(16)
+    ]
+    return {
+        "testbed": "roce-lan",
+        "seed": 1,
+        "doors": 2,
+        "max_active": 4,
+        "tenants": {"t": {"weight": 1.0}},
+        "faults": {"seed": 1, "source_crashes": [crash_at]},
+        "jobs": [{"tenant": "t", "job_id": "job-1", "files": files}],
+    }
+
+
+def test_source_crash_fails_over_to_the_next_door():
+    result = run_sched(_spec(crash_at=3e-3), horizon=60.0)
+    assert result.all_finished
+    tasks = [t for j in result.jobs for t in j.files]
+    # The crash landed mid-job: at least one file needed a second attempt
+    # and finished through the alternative door, in preference order.
+    retried = [t for t in tasks if t.attempts > 1]
+    assert retried, "crash did not interrupt any transfer"
+    assert all(t.source_used == "door-1" for t in retried)
+    assert all(t.error is None for t in tasks)
+    # Files the crash never touched stayed on their preferred door.
+    assert any(t.source_used == "door-0" for t in tasks)
+    # Enough failures landed together to trip door-0's broker breaker,
+    # quarantining it while the survivors drained through door-1.
+    door0 = result.broker.doors["door-0"]
+    assert door0.breaker.trips >= 1
+
+
+def test_failover_is_deterministic():
+    a = run_sched(_spec(crash_at=3e-3), horizon=60.0)
+    b = run_sched(_spec(crash_at=3e-3), horizon=60.0)
+    states_a = [(t.path, t.state.value, t.attempts, t.source_used)
+                for j in a.jobs for t in j.files]
+    states_b = [(t.path, t.state.value, t.attempts, t.source_used)
+                for j in b.jobs for t in j.files]
+    assert states_a == states_b
+    assert a.testbed.engine.events_processed == b.testbed.engine.events_processed

@@ -186,3 +186,38 @@ def test_bench_compare_gates_regression(tmp_path, capsys):
     assert main(["bench-compare", str(bp), str(bp)]) == 0
     assert main(["bench-compare", str(bp), str(cp),
                  "--tolerance", "0.25"]) == 0
+
+
+def test_sched_command_runs_a_mix_and_writes_a_report(tmp_path, capsys):
+    import json
+
+    rep = tmp_path / "report.jsonl"
+    rc = main(["sched", "--files", "40", "--testbed", "roce-lan",
+               "--report", str(rep)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gold" in out and "bronze" in out and "sim time" in out
+    lines = rep.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["kind"] == "header" and header["testbed"] == "roce-lan"
+    assert json.loads(lines[-1])["kind"] == "summary"
+
+
+def test_sched_command_report_is_byte_identical_across_runs(tmp_path, capsys):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    argv = ["sched", "--files", "40", "--testbed", "roce-lan"]
+    assert main(argv + ["--report", str(a)]) == 0
+    assert main(argv + ["--report", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_sched_command_exits_nonzero_when_jobs_do_not_finish(capsys):
+    rc = main(["sched", "--files", "200", "--testbed", "ani-wan",
+               "--horizon", "2.0"])
+    assert rc == 1
+    assert "did not finish" in capsys.readouterr().err
+
+
+def test_sched_command_requires_a_mix(capsys):
+    assert main(["sched"]) == 2
+    assert "--spec" in capsys.readouterr().err
