@@ -141,6 +141,8 @@ class RftpClient:
         tenants: Any = None,
         door_sessions: int = 4,
         fault_injector: Any = None,
+        journal: Any = None,
+        seed: int = 0,
     ):
         """Process event resolving to an opened
         :class:`~repro.sched.broker.TransferBroker` — the job-level API.
@@ -174,7 +176,8 @@ class RftpClient:
             for door in door_objs:
                 yield door.open()
             return TransferBroker(
-                mw.engine, door_objs, broker_config, tenants
+                mw.engine, door_objs, broker_config, tenants,
+                journal=journal, seed=seed,
             )
 
         return mw.engine.process(_open())

@@ -311,15 +311,11 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    spec = None
     if args.spec:
         spec = load_spec(args.spec)
-    else:
-        files = args.files
-        if args.quick and args.files is None:
-            files = 1000
-        if files is None:
-            print("error: need --spec, --quick, or --files", file=sys.stderr)
-            return 2
+    elif args.quick or args.files is not None:
+        files = args.files if args.files is not None else 1000
         spec = synthetic_spec(
             seed=args.seed,
             total_files=files,
@@ -328,7 +324,29 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             doors=args.doors,
             max_active=args.max_active,
         )
-    result = run_sched(spec, horizon=args.horizon)
+    if spec is None and args.recover is None:
+        print("error: need --spec, --quick, --files, or --recover",
+              file=sys.stderr)
+        return 2
+    if spec is not None:
+        if args.watchdog:
+            spec["watchdog"] = True
+        if args.drain_at is not None:
+            spec["drain_at"] = args.drain_at
+        if args.crash_at:
+            faults = dict(spec.get("faults") or {})
+            faults["broker_crashes"] = sorted(
+                list(faults.get("broker_crashes", ())) + args.crash_at
+            )
+            spec["faults"] = faults
+    result = run_sched(
+        spec,
+        horizon=args.horizon,
+        journal_path=args.journal,
+        recover=args.recover,
+        audit=args.audit,
+        restart_delay=args.restart_delay,
+    )
     summary = summarize(result.jobs, result.testbed.engine)
 
     table = Table(
@@ -344,12 +362,44 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         )
     table.print()
     print(f"sim time {summary['sim_time']:.3f}s  events {summary['events']}")
+    if result.recoveries or result.header.get("recovered"):
+        resumed = sum(
+            1 for j in result.jobs for t in j.files if t.resumed_from > 0
+        )
+        print(
+            f"recovered: {result.recoveries} broker restart(s), "
+            f"{resumed} session(s) resumed, "
+            f"{result.recovered_suffix_bytes} suffix byte(s) moved "
+            f"post-recovery"
+        )
+    if result.audit_ok is not None:
+        if result.audit_ok:
+            print(
+                f"audit: byte-exact ({result.overlap_bytes} identical "
+                f"overlap byte(s) across resumes)"
+            )
+        else:
+            for problem in result.audit_problems[:20]:
+                print(f"audit: {problem}", file=sys.stderr)
+            print(
+                f"error: delivery audit failed "
+                f"({len(result.audit_problems)} problem(s))",
+                file=sys.stderr,
+            )
     if args.report:
         write_report(args.report, result.jobs, result.testbed.engine,
                      result.header)
         print(f"wrote {args.report}")
+    if result.audit_ok is False:
+        return 1
     if not result.all_finished:
         bad = sum(1 for j in result.jobs if j.state.value != "FINISHED")
+        if result.drained:
+            print(
+                f"drained: {bad} job(s) left for a later --recover "
+                f"(checkpoint written)"
+            )
+            return 0
         print(f"error: {bad} job(s) did not finish", file=sys.stderr)
         return 1
     return 0
@@ -523,6 +573,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSONL job report here")
     p.add_argument("--horizon", type=float, default=None,
                    help="sim-time bound (default: run to completion)")
+    p.add_argument("--watchdog", action="store_true",
+                   help="enable the per-file progress watchdog (kills "
+                        "attempts with no delivered-byte progress within a "
+                        "multiple of the adaptive RTO)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="mirror the broker's write-ahead journal to this "
+                        "file (flushed JSON lines)")
+    p.add_argument("--crash-at", type=float, action="append", default=[],
+                   metavar="SECONDS",
+                   help="crash the broker at this sim time and restart it "
+                        "from the journal; repeatable")
+    p.add_argument("--recover", metavar="PATH", default=None,
+                   help="with --crash-at: round-trip each restart's journal "
+                        "through this file; with no spec/--quick/--files: "
+                        "restart a previous run from this journal")
+    p.add_argument("--restart-delay", type=float, default=0.5,
+                   help="seconds between a broker crash and its restart "
+                        "(default 0.5)")
+    p.add_argument("--drain-at", type=float, default=None, metavar="SECONDS",
+                   help="gracefully drain the broker at this sim time: stop "
+                        "admissions, finish in-flight work, checkpoint the "
+                        "journal")
+    p.add_argument("--audit", action="store_true",
+                   help="verify byte-exact delivery per finished file "
+                        "(pattern source + collecting sink; exits 1 on any "
+                        "lost file, divergent duplicate, or corrupt block)")
     _add_export_args(p)
     p.set_defaults(func=_cmd_sched)
 

@@ -19,6 +19,8 @@ __all__ = [
     "MarkerTimeout",
     "PeerDead",
     "TransportFallbackFailed",
+    "StuckTransfer",
+    "TransferCanceled",
 ]
 
 
@@ -84,3 +86,14 @@ class TransportFallbackFailed(TransferError):
     """The TCP degradation path could not save the session: the sink
     denied TRANSPORT_FALLBACK, no TCP factory is wired on the link, or
     the fallback stream stalled with zero progress."""
+
+
+class StuckTransfer(TransferError):
+    """The scheduler's progress watchdog killed the session: no
+    delivered-byte progress within a multiple of the adaptive RTO, yet
+    no lower-layer timeout fired (the slot was wedged, not failing)."""
+
+
+class TransferCanceled(TransferError):
+    """The broker canceled the session deliberately (job cancel or a
+    per-job deadline expiring) while the transfer was still in flight."""

@@ -25,10 +25,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.verbs.cm import ConnectionManager
     from repro.verbs.device import Device
 
-__all__ = ["RdmaMiddleware", "TransferOutcome"]
+__all__ = ["RdmaMiddleware", "TransferOutcome", "allocate_session_id"]
 
 _session_ids = itertools.count(1)
 _client_ids = itertools.count(1)
+
+
+def allocate_session_id() -> int:
+    """Draw the next id from the shared session-id space.
+
+    Exposed for callers (the transfer broker) that must know a session's
+    id *before* launching the transfer, so the attempt can be journaled
+    and — after a crash — re-attached via SESSION_RESUME under the same
+    id the sink already holds marker state for.
+    """
+    return next(_session_ids)
 
 
 @dataclass(frozen=True)
@@ -220,6 +231,7 @@ class RdmaMiddleware:
         link: Optional[SourceLink] = None,
         tcp_factory: Any = None,
         reuse_negotiation: bool = False,
+        session_id: Optional[int] = None,
     ):
         """Process event resolving to a :class:`TransferOutcome`.
 
@@ -234,8 +246,12 @@ class RdmaMiddleware:
         the link-level BLOCK_SIZE/CHANNELS exchanges and open the session
         with a single SESSION_REQ round trip — the scheduler's fast path
         for runs of small files to one peer.
+        ``session_id`` (optional): run the session under a caller-chosen
+        id from :func:`allocate_session_id` instead of drawing one here —
+        lets the broker journal the attempt before it starts.
         """
-        session_id = next(_session_ids)
+        if session_id is None:
+            session_id = next(_session_ids)
 
         def _run() -> Generator:
             the_link = link

@@ -455,6 +455,18 @@ class SourceLink:
             )
         self.ledger.flush()
 
+    def abort_session(self, session_id: int, exc: TransferError) -> bool:
+        """Kill ONE live session with a typed error, leaving its link
+        siblings untouched.  The scheduler's surgical teardown — used by
+        the progress watchdog (a wedged session must not hold its worker
+        slot) and by job cancellation/deadlines.  Returns False when the
+        session is unknown (already finished or aborted)."""
+        job = self.jobs.get(session_id)
+        if job is None:
+            return False
+        self._abort_job(job, exc)
+        return True
+
     def kill_channel(self, index: int) -> bool:
         """Kill the ``index``-th data QP (injected channel failure).
 
@@ -507,6 +519,14 @@ class SourceLink:
         if not job._halt.triggered:
             job._halt.succeed()
         job.done.fail(exc)
+        # An external teardown (crash/cancel) can land while the session's
+        # own process is parked microseconds away from ``yield job.done``
+        # (mid-negotiation send, thread.exec) with no waiter attached yet.
+        # Defusing keeps that window from nuking the whole engine; waiters
+        # attached before processing still receive the typed error, and an
+        # abandoned session still fails loudly through the transfer's
+        # outer process event.
+        job.done.defuse()
 
     def _recycle(self, block: SourceBlock, credit: Optional[Credit] = None) -> None:
         """Return an abandoned block (and optionally its credit) to the
@@ -551,7 +571,15 @@ class SourceLink:
             yield from self.ctrl.send(thread, ControlMessage(req_type, sid, payload))
             get_ev = store.get()
             timer = self.engine.timeout(self.health.request_timeout(attempt))
-            outcome = yield AnyOf(self.engine, [get_ev, timer])
+            outcome = yield AnyOf(self.engine, [get_ev, timer, job._abort])
+            if job.aborted:
+                # Torn down externally (endpoint crash, cancel, watchdog
+                # kill) while this round trip was in flight: stop waiting
+                # so the abort completes instead of racing retries against
+                # a session that no longer exists.
+                timer.cancel()
+                store.cancel_get(get_ev)
+                return None
             if get_ev in outcome:
                 timer.cancel()
                 if attempt == 0:

@@ -51,6 +51,7 @@ class FaultInjector:
         self.payload_corruptions = 0
         self.source_crashes_fired = 0
         self.sink_crashes_fired = 0
+        self.broker_crashes_fired = 0
         self.qp_kills_fired = 0
         self.heartbeat_drops = 0
         self.fallback_denials = 0
@@ -161,6 +162,22 @@ class FaultInjector:
                 link.kill_channel(index)
 
             engine.process(_kill())
+
+    def arm_broker(self, supervisor: Any) -> None:
+        """Schedule the plan's broker crashes on a scheduler supervisor
+        (anything with ``.crash()``; see
+        :class:`repro.sched.runner.BrokerSupervisor` — crash kills the
+        current incarnation, the supervisor restarts it from the
+        journal)."""
+        engine = supervisor.engine
+        for when in self.plan.broker_crashes:
+
+            def _crash(when=when):
+                yield engine.timeout(when)
+                self.broker_crashes_fired += 1
+                supervisor.crash()
+
+            engine.process(_crash())
 
     def _fallback_deny_hook(self) -> bool:
         """``SinkEngine.fallback_deny_hook`` interface."""

@@ -71,6 +71,12 @@ class FaultPlan:
     #: with :class:`~repro.core.errors.EndpointCrashed` and outstanding
     #: credits are flushed (a new incarnation may then resume).
     source_crashes: Tuple[float, ...] = ()
+    #: Scheduled broker-process crashes, seconds: the scheduler dies
+    #: mid-run (journal survives, live sessions abort) and is restarted
+    #: from a journal replay — queued files re-admit, ACTIVE files
+    #: re-attach via SESSION_RESUME (exercises
+    #: :meth:`~repro.sched.broker.TransferBroker.recover`).
+    broker_crashes: Tuple[float, ...] = ()
     #: Scheduled data-QP kills: ``((time_s, channel_index), ...)`` — the
     #: QP drops to ERROR mid-transfer, in-flight WRs flush, and the
     #: session fails over onto the surviving channels.
@@ -103,7 +109,7 @@ class FaultPlan:
             start, duration = flap
             if start < 0 or duration <= 0:
                 raise ValueError(f"bad link flap {flap!r}")
-        for name in ("sink_crashes", "source_crashes"):
+        for name in ("sink_crashes", "source_crashes", "broker_crashes"):
             for when in getattr(self, name):
                 if when < 0:
                     raise ValueError(f"{name} entry {when!r} is before t=0")
@@ -125,6 +131,7 @@ class FaultPlan:
             or self.payload_corrupt_rate
             or self.sink_crashes
             or self.source_crashes
+            or self.broker_crashes
             or self.qp_kills
             or self.heartbeat_drop_rate
             or self.fallback_deny

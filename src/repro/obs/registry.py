@@ -315,6 +315,11 @@ class MetricsRegistry:
                 f"metric {name!r}{labels!r} already registered as "
                 f"{type(metric).__name__}, not CallbackGauge"
             )
+        else:
+            # Re-registration rebinds the callback: a component restarted
+            # on the same engine (e.g. a recovered broker) must report its
+            # NEW incarnation's state, not a closure over the dead one's.
+            metric._fn = fn
         return metric
 
     # -- instance numbering ---------------------------------------------------

@@ -5,35 +5,63 @@ The fleet-scale front door over the single-transfer middleware: a
 files, priority, tenant, ordered source alternatives) and multiplexes
 them onto a bounded pool of reused transfer sessions with weighted
 per-tenant fair share, admission control, per-destination dedupe, and
-``orderly`` multi-source failover guarded by circuit breakers.
+``orderly`` multi-source failover guarded by circuit breakers.  Every
+state transition is journaled, so a crashed broker recovers from its
+write-ahead log with nothing lost and nothing transferred twice.
 
 - :mod:`repro.sched.jobs` — the FTS-mirroring job/file state model
 - :mod:`repro.sched.broker` — the scheduler itself (+ doors)
+- :mod:`repro.sched.journal` — the replayable write-ahead journal
 - :mod:`repro.sched.spec` — job-mix spec format and synthetic generator
 - :mod:`repro.sched.report` — deterministic JSONL job reports
 - :mod:`repro.sched.runner` — one-call spec → testbed → result harness
+  (including the crash-restart supervisor and the delivery audit)
 """
 
-from repro.sched.broker import BrokerConfig, RftpDoor, TenantPolicy, TransferBroker
+from repro.sched.broker import (
+    BrokerConfig,
+    RftpDoor,
+    SchedulerConfig,
+    TenantPolicy,
+    TransferBroker,
+)
 from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
-from repro.sched.report import report_lines, summarize, write_report
-from repro.sched.runner import SchedResult, run_sched
+from repro.sched.journal import Journal, RecoveredState, replay
+from repro.sched.report import (
+    report_lines,
+    stable_report_lines,
+    summarize,
+    write_report,
+)
+from repro.sched.runner import (
+    BrokerSupervisor,
+    SchedResult,
+    audit_delivery,
+    run_sched,
+)
 from repro.sched.spec import load_spec, synthetic_spec, validate_spec
 
 __all__ = [
     "BrokerConfig",
+    "BrokerSupervisor",
     "FileState",
     "FileTask",
     "Job",
     "JobState",
+    "Journal",
+    "RecoveredState",
     "RftpDoor",
     "SchedResult",
+    "SchedulerConfig",
     "TenantPolicy",
     "TransferBroker",
     "TransferSpec",
+    "audit_delivery",
     "load_spec",
+    "replay",
     "report_lines",
     "run_sched",
+    "stable_report_lines",
     "summarize",
     "synthetic_spec",
     "validate_spec",

@@ -26,22 +26,44 @@ alternative destinations.  The pieces:
 - **session reuse**: transfers run with ``reuse_negotiation=True``, so
   after a door's first session the per-file cost is one SESSION_REQ
   round trip instead of three — the difference between 1×RTT and 3×RTT
-  per small file on the WAN.
+  per small file on the WAN;
+- **durability**: every state transition is appended to a
+  :class:`~repro.sched.journal.Journal` before it is acted on, so
+  :meth:`TransferBroker.recover` can reconstruct the whole job table
+  after a crash — FINISHED files are never re-transferred, queued files
+  re-admit idempotently, and files ACTIVE at crash time re-attach via
+  SESSION_RESUME under their journaled session id (only the suffix past
+  the sink's restart marker moves);
+- **watchdog / deadlines / drain**: an opt-in per-file progress watchdog
+  kills attempts that stall without erroring (bounded by a multiple of
+  the link's adaptive RTO), retries back off exponentially with
+  deterministic seeded jitter, per-job deadlines cancel leftovers, and
+  :meth:`TransferBroker.drain` stops admissions, lets in-flight work
+  finish and writes a clean journal checkpoint.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import TransferError
+from repro.core.errors import StuckTransfer, TransferCanceled, TransferError
 from repro.core.health import BreakerState, ChannelBreaker
+from repro.core.middleware import allocate_session_id
 from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
+from repro.sched.journal import Journal, replay
 from repro.sim.events import Event
 
-__all__ = ["TenantPolicy", "BrokerConfig", "RftpDoor", "TransferBroker"]
+__all__ = [
+    "TenantPolicy",
+    "SchedulerConfig",
+    "BrokerConfig",
+    "RftpDoor",
+    "TransferBroker",
+]
 
 
 @dataclass(frozen=True)
@@ -67,21 +89,38 @@ class TenantPolicy:
 
 
 @dataclass(frozen=True)
-class BrokerConfig:
+class SchedulerConfig:
     """Broker-wide knobs."""
 
     #: Global concurrent-session ceiling (the worker pool size).
     max_active: int = 8
     #: Transfer attempts per file (first try included) before FAILED.
     max_attempts: int = 4
-    #: Wait before re-queuing a file whose attempt failed.
+    #: Base retry delay, seconds (attempt 1's backoff).
     retry_backoff: float = 0.5
+    #: Multiplier applied per prior attempt (capped exponential).
+    retry_backoff_factor: float = 2.0
+    #: Ceiling for the exponential backoff, seconds (before jitter).
+    retry_backoff_cap: float = 8.0
+    #: Jitter fraction in [0, 1]: the delay is scaled by a deterministic
+    #: per-(job, file, attempt) factor in [1, 1 + retry_jitter], derived
+    #: from the run seed — replayable, yet retries de-synchronise.
+    retry_jitter: float = 0.25
     #: Wait before re-queuing a file that found no admissible door.
     blocked_retry: float = 0.25
     #: Consecutive failures that trip a door's breaker OPEN.
     breaker_failures: int = 2
     #: Door-breaker quarantine, seconds.
     breaker_cooldown: float = 2.0
+    #: Enable the per-file progress watchdog.  Off by default: its poll
+    #: timers extend the drained engine clock, which would shift the
+    #: bit-identical bench/report anchors of runs that never stall.
+    watchdog: bool = False
+    #: A stalled attempt is killed after this multiple of the link's
+    #: adaptive RTO with zero delivered-byte progress.
+    watchdog_rto_multiplier: float = 16.0
+    #: Floor for the watchdog poll interval, seconds.
+    watchdog_min_interval: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
@@ -90,10 +129,40 @@ class BrokerConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.retry_backoff < 0 or self.blocked_retry <= 0:
             raise ValueError("retry timings must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_cap < self.retry_backoff:
+            raise ValueError("retry_backoff_cap must be >= retry_backoff")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
         if self.breaker_failures < 1:
             raise ValueError("breaker_failures must be >= 1")
         if self.breaker_cooldown <= 0:
             raise ValueError("breaker_cooldown must be positive")
+        if self.watchdog_rto_multiplier <= 0:
+            raise ValueError("watchdog_rto_multiplier must be positive")
+        if self.watchdog_min_interval <= 0:
+            raise ValueError("watchdog_min_interval must be positive")
+
+
+#: Historical name, kept for callers of the PR 6 API.
+BrokerConfig = SchedulerConfig
+
+
+def _retry_jitter_fraction(seed: int, job_id: str, path: str,
+                           attempt: int) -> float:
+    """Deterministic per-task jitter in [0, 1).
+
+    Derived from (run seed, job, path, attempt) with BLAKE2b — the same
+    scheme as :class:`~repro.sim.rng.RandomStreams` — so it is
+    independent of dispatch order and survives crash recovery: the same
+    retry backs off by the same amount in the original and the recovered
+    run.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{job_id}|{path}|{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0 ** 64
 
 
 class RftpDoor:
@@ -172,7 +241,7 @@ class RftpDoor:
             return False
         return not self.channels_quarantined(now)
 
-    def transfer(self, task: FileTask):
+    def transfer(self, task: FileTask, session_id: Optional[int] = None):
         """Process event for one file transfer through this door."""
         assert self.link is not None, "door not opened"
         return self.middleware.transfer(
@@ -182,6 +251,21 @@ class RftpDoor:
             task.size,
             link=self.link,
             reuse_negotiation=True,
+            session_id=session_id,
+        )
+
+    def resume(self, task: FileTask, session_id: int):
+        """Process event re-attaching an interrupted session (recovery):
+        the sink replies with its restart marker and only the missing
+        suffix is read and sent."""
+        assert self.link is not None, "door not opened"
+        return self.middleware.resume(
+            self.remote_dev,
+            self.port,
+            self.data_source,
+            task.size,
+            session_id,
+            link=self.link,
         )
 
 
@@ -202,14 +286,22 @@ class _TenantState:
 
 
 class TransferBroker:
-    """Accepts jobs, schedules their files across the doors."""
+    """Accepts jobs, schedules their files across the doors.
+
+    ``journal`` (default: a fresh in-memory :class:`Journal`) receives
+    every state transition; ``seed`` feeds the deterministic retry
+    jitter.  Use :meth:`recover` instead of the constructor to build an
+    incarnation that continues a journaled predecessor.
+    """
 
     def __init__(
         self,
         engine: Any,
         doors: Sequence[RftpDoor],
-        config: Optional[BrokerConfig] = None,
+        config: Optional[SchedulerConfig] = None,
         tenants: Optional[Dict[str, TenantPolicy]] = None,
+        journal: Optional[Journal] = None,
+        seed: int = 0,
     ) -> None:
         if not doors:
             raise ValueError("broker needs at least one door")
@@ -217,7 +309,9 @@ class TransferBroker:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate door names: {names}")
         self.engine = engine
-        self.config = config or BrokerConfig()
+        self.config = config or SchedulerConfig()
+        self.journal = journal if journal is not None else Journal()
+        self.seed = int(seed)
         self.doors: Dict[str, RftpDoor] = {d.name: d for d in doors}
         for door in doors:
             door.breaker = ChannelBreaker(
@@ -229,6 +323,7 @@ class TransferBroker:
         for name, policy in (tenants or {}).items():
             self._tenants[name] = _TenantState(policy=policy)
         self.jobs: List[Job] = []
+        self.recovered = False
         self._fifo = itertools.count()
         self._job_ids = itertools.count(1)
         #: Destination path -> live (non-terminal) primary task, for dedupe.
@@ -237,12 +332,31 @@ class TransferBroker:
         self._outstanding = 0  #: non-terminal primary tasks
         self._loop_running = False
         self._wake: Optional[Event] = None
+        #: Crash flag: a dead incarnation journals nothing and touches no
+        #: bookkeeping — its in-flight processes wake up and fall through.
+        self._dead = False
+        self._draining = False
+        self._drain_wake: Optional[Event] = None
+        self._recovering = False
+        #: Task -> (backoff timer, tenant state) while parked, so a
+        #: cancel can unpark immediately instead of leaking the file in
+        #: the timer until it fires.
+        #: Keyed by ``id(task)`` — FileTask is a mutable dataclass and
+        #: deliberately unhashable; identity is the right key anyway.
+        self._parked: Dict[int, Tuple[Any, _TenantState]] = {}
 
         reg = engine.metrics
         self._m_jobs_submitted = reg.counter("sched.jobs_submitted")
         self._m_jobs_rejected = reg.counter("sched.jobs_rejected")
         self._m_dedup_hits = reg.counter("sched.dedup_hits")
         self._m_blocked = reg.counter("sched.dispatch_blocked")
+        self._m_watchdog_kills = reg.counter("sched.watchdog.kills")
+        self._m_deadline_cancels = reg.counter("sched.deadline_cancels")
+        self._m_rec_jobs = reg.counter("sched.recovery.jobs_replayed")
+        self._m_rec_files = reg.counter("sched.recovery.files_replayed")
+        self._m_rec_requeued = reg.counter("sched.recovery.requeued")
+        self._m_rec_resumed = reg.counter("sched.recovery.resumed")
+        self._m_rec_resume_failed = reg.counter("sched.recovery.resume_failed")
         self._per_tenant_metrics: Dict[str, dict] = {}
         reg.gauge_fn("sched.active_transfers", lambda: self._active)
         reg.gauge_fn("sched.outstanding_files", lambda: self._outstanding)
@@ -278,6 +392,10 @@ class TransferBroker:
             self._per_tenant_metrics[tenant] = m
         return m
 
+    def _journal_rec(self, kind: str, **fields: Any) -> None:
+        if not self._dead:  # a crashed process writes nothing
+            self.journal.append(kind, **fields)
+
     # -- submission --------------------------------------------------------------
     def submit(
         self,
@@ -285,22 +403,34 @@ class TransferBroker:
         files: Sequence[TransferSpec],
         priority: int = 0,
         job_id: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Job:
         """Accept (or reject) one bulk submission.  Returns the job with
         its ``done`` event wired; a rejected job comes back already
-        CANCELED with the event triggered."""
+        CANCELED with the event triggered.  ``deadline`` (seconds after
+        submission): past it, files still pending are canceled and the
+        job lands in a journaled terminal state."""
         if not files:
             raise ValueError("a job needs at least one file")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         if job_id is None:
             job_id = f"job-{next(self._job_ids)}"
         job = Job.build(job_id, tenant, files, priority)
         now = self.engine.now
         job.submitted_at = now
+        job.deadline = deadline
         job.done = Event(self.engine)
         self.jobs.append(job)
         self._m_jobs_submitted.add()
         metrics = self._metrics(tenant)
         state = self._tenant(tenant)
+        self._journal_rec(
+            "submit", t=now, job_id=job_id, tenant=tenant, priority=priority,
+            deadline=deadline,
+            files=[{"path": s.path, "size": s.size,
+                    "sources": list(s.sources)} for s in files],
+        )
 
         primaries = [
             t for t in job.files
@@ -308,28 +438,20 @@ class TransferBroker:
             or self._dest_owner[t.path].state.terminal
         ]
         backlog = state.queued + state.parked
+        if self._draining:
+            return self._reject_job(
+                job, metrics, "broker draining: admissions closed"
+            )
         if backlog + len(primaries) > state.policy.max_queued:
             # Admission control: reject the submission whole rather than
             # accept a prefix the tenant cannot distinguish.
-            self._m_jobs_rejected.add()
-            metrics["files_canceled"].add(len(job.files))
-            job.state = JobState.CANCELED
-            for task in job.files:
-                task.state = FileState.CANCELED
-                task.submitted_at = now
-                task.finished_at = now
-                task.error = (
-                    f"tenant {tenant!r} queue full "
-                    f"({backlog}+{len(primaries)} > {state.policy.max_queued})"
-                )
-            job.finished_at = now
-            job.done.succeed(job)
-            self.engine.trace(
-                "sched", "job_rejected", job=job_id, tenant=tenant,
-                files=len(job.files),
+            return self._reject_job(
+                job, metrics,
+                f"tenant {tenant!r} queue full "
+                f"({backlog}+{len(primaries)} > {state.policy.max_queued})",
             )
-            return job
 
+        self._journal_rec("admit", t=now, job_id=job_id)
         for task in job.files:
             task.submitted_at = now
             owner = self._dest_owner.get(task.path)
@@ -346,6 +468,8 @@ class TransferBroker:
                 state.queue, (-job.priority, next(self._fifo), task)
             )
         job._note_progress()  # all-duplicate jobs may already be terminal
+        if deadline is not None and not job.state.terminal:
+            self.engine.process(self._deadline_watch(job, deadline))
         self.engine.trace(
             "sched", "job_submitted", job=job_id, tenant=tenant,
             files=len(job.files), priority=job.priority,
@@ -353,11 +477,93 @@ class TransferBroker:
         self._kick()
         return job
 
+    def _reject_job(self, job: Job, metrics: dict, reason: str) -> Job:
+        now = self.engine.now
+        self._m_jobs_rejected.add()
+        metrics["files_canceled"].add(len(job.files))
+        self._journal_rec("reject", t=now, job_id=job.job_id, reason=reason)
+        job.state = JobState.CANCELED
+        for task in job.files:
+            task.state = FileState.CANCELED
+            task.submitted_at = now
+            task.finished_at = now
+            task.error = reason
+        job.finished_at = now
+        job.done.succeed(job)
+        self.engine.trace(
+            "sched", "job_rejected", job=job.job_id, tenant=job.tenant,
+            files=len(job.files),
+        )
+        return job
+
+    # -- cancellation / deadlines ------------------------------------------------
+    def cancel_job(self, job: Job, reason: str = "canceled") -> bool:
+        """Cancel every non-terminal file of ``job`` NOW: queued files
+        leave the queue, parked files are unparked (their backoff timers
+        cancelled), ACTIVE sessions are aborted with a typed
+        :class:`TransferCanceled`.  Every cancellation is journaled."""
+        if self._dead or job.state.terminal:
+            return False
+        now = self.engine.now
+        metrics = self._metrics(job.tenant)
+        affected = {id(job): job}  # Job is a mutable dataclass: key by id
+        for task in job.files:
+            if task.state.terminal:
+                continue
+            if task.duplicate_of is not None:
+                owner = task.duplicate_of
+                if not owner.state.terminal and task in owner.duplicates:
+                    # Detach from the primary's cascade; the primary (in
+                    # some other job) keeps transferring.
+                    owner.duplicates.remove(task)
+                metrics["files_canceled"].add()
+                self._journal_rec("cancel", t=now, job_id=job.job_id,
+                                  index=task.index, reason=reason)
+                task.state = FileState.CANCELED
+                task.finished_at = now
+                task.error = reason
+                continue
+            was_active = task.state is FileState.ACTIVE
+            self._unpark(task)
+            self._outstanding -= 1
+            metrics["files_canceled"].add()
+            self._journal_rec("cancel", t=now, job_id=job.job_id,
+                              index=task.index, reason=reason)
+            for dup in task.duplicates:
+                affected[id(dup.job)] = dup.job
+            task.resolve(FileState.CANCELED, now, error=reason)
+            if was_active and task.last_session is not None:
+                door = self.doors.get(task.last_door or "")
+                if door is not None and door.link is not None:
+                    door.link.abort_session(
+                        task.last_session,
+                        TransferCanceled(task.last_session, reason),
+                    )
+        job._note_progress()
+        for j in affected.values():
+            self._finish_job(j)
+        self.engine.trace(
+            "sched", "job_canceled", job=job.job_id, reason=reason
+        )
+        return True
+
+    def _deadline_watch(self, job: Job, delay: float):
+        yield self.engine.timeout(delay)
+        if self._dead or job.state.terminal:
+            return
+        self._m_deadline_cancels.add()
+        self.engine.trace("sched", "deadline_exceeded", job=job.job_id)
+        self.cancel_job(job, reason=f"deadline exceeded after {delay}s")
+
     # -- dispatch ----------------------------------------------------------------
     def _kick(self) -> None:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed(None)
-        if not self._loop_running and self._outstanding > 0:
+        if (
+            not self._loop_running
+            and self._outstanding > 0
+            and not (self._dead or self._draining or self._recovering)
+        ):
             self._loop_running = True
             self.engine.process(self._dispatch_loop())
 
@@ -389,23 +595,25 @@ class TransferBroker:
         return None
 
     def _dispatch_loop(self):
-        while self._outstanding > 0:
-            while self._active < self.config.max_active:
+        while self._outstanding > 0 and not (self._dead or self._draining):
+            while (
+                self._active < self.config.max_active
+                and not (self._dead or self._draining)
+            ):
                 tenant_name = self._runnable_tenant()
                 if tenant_name is None:
                     break
                 state = self._tenants[tenant_name]
                 _neg_prio, _seq, task = heapq.heappop(state.queue)
+                if task.state.terminal:
+                    continue  # canceled while queued; entry is stale
                 door = self._pick_door(task)
                 if door is None:
                     # Every alternative is quarantined or saturated: park
                     # the file and retry shortly, without burning a slot
                     # or charging the tenant's stride pass.
                     self._m_blocked.add()
-                    state.parked += 1
-                    self.engine.process(self._requeue_later(
-                        task, self.config.blocked_retry, parked=state
-                    ))
+                    self._park(task, self.config.blocked_retry, state)
                     continue
                 state.pass_value += 1.0 / state.policy.weight
                 state.inflight += 1
@@ -414,27 +622,69 @@ class TransferBroker:
                 task.state = FileState.READY
                 self.engine.process(self._run_task(task, state, door))
             self._wake = Event(self.engine)
-            if self._outstanding == 0:
+            if self._outstanding == 0 or self._dead or self._draining:
                 break
             yield self._wake
         self._loop_running = False
 
-    def _requeue_later(self, task: FileTask, delay: float, parked=None):
-        yield self.engine.timeout(delay)
-        if parked is not None:
-            parked.parked -= 1
+    # -- parking (retry / blocked backoff) ---------------------------------------
+    def _park(self, task: FileTask, delay: float, state: _TenantState) -> None:
+        state.parked += 1
+        timer = self.engine.timeout(delay)
+        self._parked[id(task)] = (timer, state)
+        self.engine.process(self._requeue_later(task, timer, state))
+
+    def _unpark(self, task: FileTask) -> bool:
+        """Remove a parked task NOW (job canceled / broker action); its
+        backoff timer is cancelled and the waiter process never requeues."""
+        entry = self._parked.pop(id(task), None)
+        if entry is None:
+            return False
+        timer, state = entry
+        timer.cancel()
+        state.parked -= 1
+        return True
+
+    def _requeue_later(self, task: FileTask, timer: Any, state: _TenantState):
+        yield timer
+        if self._dead:
+            return
+        if self._parked.pop(id(task), None) is None:
+            return  # unparked while waiting (cancel won the race)
+        state.parked -= 1
         if task.state.terminal:
             return
         task.state = FileState.SUBMITTED
-        state = self._tenant(task.job.tenant)
         heapq.heappush(
             state.queue, (-task.job.priority, next(self._fifo), task)
         )
         self._kick()
 
+    def _retry_delay(self, task: FileTask) -> float:
+        """Capped exponential backoff with deterministic seeded jitter."""
+        cfg = self.config
+        base = cfg.retry_backoff * (
+            cfg.retry_backoff_factor ** max(0, task.attempts - 1)
+        )
+        delay = min(base, cfg.retry_backoff_cap)
+        if cfg.retry_jitter > 0.0:
+            frac = _retry_jitter_fraction(
+                self.seed, task.job.job_id, task.path, task.attempts
+            )
+            delay *= 1.0 + cfg.retry_jitter * frac
+        return delay
+
+    # -- the attempt -------------------------------------------------------------
     def _run_task(self, task: FileTask, state: _TenantState, door: RftpDoor):
         metrics = self._metrics(task.job.tenant)
         now = self.engine.now
+        if task.state.terminal or self._dead:
+            # Canceled (or the broker died) between dispatch and start.
+            state.inflight -= 1
+            self._active -= 1
+            door.active -= 1
+            self._kick()
+            return
         if task.started_at is None:
             task.started_at = now
             metrics["queue_wait"].observe(now - task.submitted_at)
@@ -443,21 +693,42 @@ class TransferBroker:
         task.attempts += 1
         if task.attempts > 1:
             metrics["retries"].add()
+        session_id = allocate_session_id()
+        task.last_session = session_id
+        task.last_door = door.name
+        self._journal_rec(
+            "attempt", t=now, job_id=task.job.job_id, index=task.index,
+            door=door.name, session=session_id, attempts=task.attempts,
+        )
+        if self.config.watchdog:
+            self.engine.process(self._watchdog(task, door, session_id))
         error: Optional[TransferError] = None
         try:
-            yield door.transfer(task)
+            yield door.transfer(task, session_id=session_id)
         except TransferError as exc:
             error = exc
+        if self._dead:
+            return  # the crash owns the state now; recovery will replay
         now = self.engine.now
         state.inflight -= 1
         self._active -= 1
         door.active -= 1
+        if error is not None and task.state.terminal:
+            # cancel_job/deadline aborted the session under us and
+            # already journaled the terminal state.
+            self._notify_drain()
+            self._kick()
+            return
         if error is None:
             door.breaker.record_success()
             self._outstanding -= 1
             metrics["files_finished"].add()
             metrics["bytes_finished"].add(task.size)
             metrics["latency"].observe(now - task.submitted_at)
+            self._journal_rec(
+                "finish", t=now, job_id=task.job.job_id, index=task.index,
+                door=door.name,
+            )
             task.resolve(FileState.FINISHED, now, source_used=door.name)
             self._finish_job(task.job)
             for dup in task.duplicates:
@@ -469,6 +740,11 @@ class TransferBroker:
         else:
             door.breaker.record_failure(now)
             task.alt_cursor += 1  # orderly: next alternative first
+            self._journal_rec(
+                "attempt_fail", t=now, job_id=task.job.job_id,
+                index=task.index, alt_cursor=task.alt_cursor,
+                attempts=task.attempts, error=type(error).__name__,
+            )
             self.engine.trace(
                 "sched", "file_attempt_failed", job=task.job.job_id,
                 path=task.path, door=door.name, attempts=task.attempts,
@@ -477,6 +753,11 @@ class TransferBroker:
             if task.attempts >= self.config.max_attempts:
                 self._outstanding -= 1
                 metrics["files_failed"].add()
+                self._journal_rec(
+                    "file_failed", t=now, job_id=task.job.job_id,
+                    index=task.index,
+                    error=f"{type(error).__name__}: {error}",
+                )
                 task.resolve(
                     FileState.FAILED, now,
                     error=f"{type(error).__name__}: {error}",
@@ -485,10 +766,297 @@ class TransferBroker:
                 for dup in task.duplicates:
                     self._finish_job(dup.job)
             else:
-                state.parked += 1
-                self.engine.process(self._requeue_later(
-                    task, self.config.retry_backoff, parked=state
+                self._park(task, self._retry_delay(task), state)
+        self._notify_drain()
+        self._kick()
+
+    def _watchdog(self, task: FileTask, door: RftpDoor, session_id: int):
+        """Kill an attempt that stops making delivered-byte progress.
+
+        Polls the link-level job at a cadence bounded below by
+        ``watchdog_min_interval`` and scaled by the adaptive RTO; two
+        consecutive polls with an identical progress vector (restart
+        marker, completed blocks, fallback blocks, start seq) abort the
+        session with :class:`StuckTransfer` — the failure then flows
+        through the normal retry path (journal, alternatives cursor,
+        backoff) instead of wedging a worker slot forever."""
+        cfg = self.config
+        link = door.link
+        last = None
+        while not self._dead:
+            rto = cfg.watchdog_min_interval
+            if link is not None and link.health is not None:
+                rto = link.health.rtt.rto
+            interval = max(
+                cfg.watchdog_min_interval, cfg.watchdog_rto_multiplier * rto
+            )
+            yield self.engine.timeout(interval)
+            if (
+                self._dead
+                or task.state is not FileState.ACTIVE
+                or task.last_session != session_id
+                or link is None
+            ):
+                return
+            job = link.jobs.get(session_id)
+            if job is None:
+                return  # attempt settled between polls
+            progress = (
+                job.start_seq, job.marker, job.completed_blocks,
+                job.fallback_blocks, job.started_at is not None,
+            )
+            if progress == last:
+                self._m_watchdog_kills.add()
+                self.engine.trace(
+                    "sched", "watchdog_kill", job=task.job.job_id,
+                    path=task.path, session=session_id, interval=interval,
+                )
+                link.abort_session(session_id, StuckTransfer(
+                    session_id,
+                    f"no delivered-byte progress within {interval:.3f}s",
                 ))
+                return
+            last = progress
+
+    # -- crash / drain / recovery ------------------------------------------------
+    def crash(self) -> None:
+        """Kill this broker incarnation: every door's link crashes (live
+        sessions die with ``EndpointCrashed``, volatile source state is
+        lost) and the incarnation stops journaling and touching state —
+        a crash writes nothing, by definition.  The journal object
+        survives for :meth:`recover`."""
+        if self._dead:
+            return
+        self._dead = True
+        self.engine.trace("sched", "broker_crash")
+        for door in self.doors.values():
+            if door.link is not None:
+                door.link.crash()
+
+    def drain(self):
+        """Graceful shutdown: stop admissions and dispatch, let in-flight
+        transfers finish, then write a clean journal checkpoint.  Process
+        event resolving to the journal.  Queued/parked files stay
+        SUBMITTED in the journal — a later ``recover`` continues them."""
+        self._draining = True
+        self.engine.trace("sched", "drain_begin", active=self._active)
+
+        def _wait():
+            while self._active > 0:
+                self._drain_wake = Event(self.engine)
+                yield self._drain_wake
+            self._checkpoint()
+            self.engine.trace("sched", "drain_done")
+            return self.journal
+
+        return self.engine.process(_wait())
+
+    def _notify_drain(self) -> None:
+        if (
+            self._draining
+            and self._active == 0
+            and self._drain_wake is not None
+            and not self._drain_wake.triggered
+        ):
+            self._drain_wake.succeed(None)
+
+    def _checkpoint(self) -> None:
+        counts = {"finished": 0, "failed": 0, "canceled": 0, "pending": 0}
+        for job in self.jobs:
+            for task in job.files:
+                key = task.state.value.lower()
+                counts[key if key in counts else "pending"] += 1
+        self._journal_rec(
+            "checkpoint", t=self.engine.now, clean=True,
+            state={
+                "jobs": {job.job_id: job.state.value for job in self.jobs},
+                "files": counts,
+            },
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        engine: Any,
+        doors: Sequence[RftpDoor],
+        journal: Journal,
+        config: Optional[SchedulerConfig] = None,
+        tenants: Optional[Dict[str, TenantPolicy]] = None,
+        seed: int = 0,
+    ) -> "TransferBroker":
+        """Build a new incarnation from a journal replay.
+
+        Terminal files keep their journaled outcome (FINISHED files are
+        never re-transferred), SUBMITTED/READY files re-enter the queue
+        in original order (dedupe decisions replay exactly), and files
+        ACTIVE at the journal's end are re-attached sequentially via
+        SESSION_RESUME on their journaled door/session — only the suffix
+        past the sink's restart marker moves.  Dispatch is held until the
+        resume pass completes (resume flushes the link's shared credit
+        ledger, so it must not race fresh sessions)."""
+        state = replay(journal.records)
+        broker = cls(engine, doors, config, tenants,
+                     journal=journal, seed=seed)
+        broker.recovered = True
+        for door in broker.doors.values():
+            door.active = 0  # the dead incarnation's slots are gone
+        now = engine.now
+        overdue: List[Job] = []
+        for job in state.jobs:
+            job.recovered = True
+            job.done = Event(engine)
+            broker.jobs.append(job)
+            broker._m_rec_jobs.add()
+            broker._m_rec_files.add(len(job.files))
+            if job.state.terminal:
+                job.done.succeed(job)
+                continue
+            tstate = broker._tenant(job.tenant)
+            broker._metrics(job.tenant)
+            for task in job.files:
+                if task.duplicate_of is not None or task.state.terminal:
+                    continue
+                broker._dest_owner[task.path] = task
+                broker._outstanding += 1
+                if task.state is FileState.ACTIVE:
+                    continue  # the resume pass owns these
+                task.recovered = True
+                heapq.heappush(
+                    tstate.queue, (-job.priority, next(broker._fifo), task)
+                )
+                broker._m_rec_requeued.add()
+            if job.deadline is not None:
+                remaining = job.submitted_at + job.deadline - now
+                if remaining <= 0:
+                    overdue.append(job)
+                else:
+                    engine.process(broker._deadline_watch(job, remaining))
+        broker._journal_rec(
+            "recover", t=now,
+            mode="checkpoint" if state.clean else "crash",
+            resumed=len(state.resume),
+        )
+        engine.trace(
+            "sched", "broker_recover",
+            mode="checkpoint" if state.clean else "crash",
+            jobs=len(state.jobs), resume=len(state.resume),
+        )
+        for job in overdue:
+            broker._m_deadline_cancels.add()
+            broker.cancel_job(
+                job, reason=f"deadline exceeded after {job.deadline}s"
+            )
+        if state.resume:
+            broker._recovering = True
+            engine.process(broker._recovery_loop(state.resume))
+        else:
+            broker._kick()
+        return broker
+
+    def _recovery_loop(self, resume_tasks: List[FileTask]):
+        """Re-attach interrupted sessions one at a time (resume flushes
+        the shared credit ledger — see ``SourceLink.resume`` — so the
+        pass is serialised and dispatch is held until it finishes)."""
+        cfg = self.config
+        for task in resume_tasks:
+            if self._dead:
+                return
+            if task.state.terminal:
+                continue  # e.g. an overdue deadline canceled it above
+            job = task.job
+            state = self._tenant(job.tenant)
+            metrics = self._metrics(job.tenant)
+            door = self.doors.get(task.last_door or "")
+            session_id = task.last_session
+            task.recovered = True
+            error: Optional[TransferError] = None
+            outcome = None
+            if door is None or door.link is None or session_id is None:
+                error = TransferError(
+                    session_id or 0, "no door to resume on"
+                )
+            else:
+                if door.link.data.alive_count == 0:
+                    yield door.middleware.reopen_channel(
+                        door.link, door.remote_dev, door.port
+                    )
+                state.inflight += 1
+                self._active += 1
+                door.active += 1
+                if cfg.watchdog:
+                    self.engine.process(
+                        self._watchdog(task, door, session_id)
+                    )
+                try:
+                    outcome = yield door.resume(task, session_id)
+                except TransferError as exc:
+                    error = exc
+                if self._dead:
+                    return
+                state.inflight -= 1
+                self._active -= 1
+                door.active -= 1
+            now = self.engine.now
+            if task.state.terminal:  # canceled while the resume ran
+                self._notify_drain()
+                continue
+            if error is None:
+                self._m_rec_resumed.add()
+                task.resumed_from = getattr(outcome, "resumed_from", 0)
+                door.breaker.record_success()
+                self._outstanding -= 1
+                metrics["files_finished"].add()
+                metrics["bytes_finished"].add(task.size)
+                metrics["latency"].observe(now - task.submitted_at)
+                self._journal_rec(
+                    "finish", t=now, job_id=job.job_id, index=task.index,
+                    door=door.name, resumed_from=task.resumed_from,
+                )
+                task.resolve(FileState.FINISHED, now, source_used=door.name)
+                self._finish_job(job)
+                for dup in task.duplicates:
+                    self._finish_job(dup.job)
+                self.engine.trace(
+                    "sched", "file_resumed", job=job.job_id, path=task.path,
+                    session=session_id, resumed_from=task.resumed_from,
+                )
+            else:
+                self._m_rec_resume_failed.add()
+                task.alt_cursor += 1
+                self._journal_rec(
+                    "attempt_fail", t=now, job_id=job.job_id,
+                    index=task.index, alt_cursor=task.alt_cursor,
+                    attempts=task.attempts, error=type(error).__name__,
+                )
+                self.engine.trace(
+                    "sched", "resume_failed", job=job.job_id,
+                    path=task.path, session=session_id,
+                    error=type(error).__name__,
+                )
+                if task.attempts >= cfg.max_attempts:
+                    self._outstanding -= 1
+                    metrics["files_failed"].add()
+                    self._journal_rec(
+                        "file_failed", t=now, job_id=job.job_id,
+                        index=task.index,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    task.resolve(
+                        FileState.FAILED, now,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    self._finish_job(job)
+                    for dup in task.duplicates:
+                        self._finish_job(dup.job)
+                else:
+                    # Fall back to a fresh attempt through dispatch.
+                    task.state = FileState.SUBMITTED
+                    heapq.heappush(
+                        state.queue,
+                        (-job.priority, next(self._fifo), task),
+                    )
+            self._notify_drain()
+        self._recovering = False
         self._kick()
 
     def _finish_job(self, job: Job) -> None:

@@ -91,6 +91,16 @@ class FileTask:
     #: mirrored here and no second transfer runs.
     duplicate_of: Optional["FileTask"] = None
     duplicates: List["FileTask"] = field(default_factory=list)
+    #: Session id / door of the most recent attempt — journaled so crash
+    #: recovery can re-attach an interrupted session via SESSION_RESUME.
+    last_session: Optional[int] = None
+    last_door: Optional[str] = None
+    #: True when this file's outcome was carried across a broker restart
+    #: (journal-replayed terminal state or a resumed/retried attempt).
+    recovered: bool = False
+    #: Block seq a post-crash SESSION_RESUME re-attached at (>0 means
+    #: only the suffix moved after recovery).
+    resumed_from: int = 0
 
     @property
     def path(self) -> str:
@@ -110,6 +120,8 @@ class FileTask:
         if source_used is not None:
             self.source_used = source_used
         for dup in self.duplicates:
+            if dup.state.terminal:
+                continue  # e.g. canceled with its own job before we resolved
             dup.state = state
             dup.finished_at = now
             dup.error = error
@@ -129,6 +141,11 @@ class Job:
     state: JobState = JobState.SUBMITTED
     submitted_at: float = 0.0
     finished_at: Optional[float] = None
+    #: Optional completion deadline, seconds after submission; past it
+    #: the broker cancels whatever files remain (journaled terminal).
+    deadline: Optional[float] = None
+    #: True when this job was reconstructed from the journal.
+    recovered: bool = False
     #: Succeeds (with the job) once every file is terminal; wired by the
     #: broker at submission so callers can ``yield job.done``.
     done: object = None

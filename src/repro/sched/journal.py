@@ -1,0 +1,228 @@
+"""Append-only write-ahead journal of broker state transitions.
+
+Durability layer of the scheduler: every job/file state change the
+:class:`~repro.sched.broker.TransferBroker` makes is appended here as a
+plain JSON-serialisable record *before* the change is acted on, so the
+full broker state is a pure function of the journal.  After a crash,
+:meth:`TransferBroker.recover` replays the journal to reconstruct every
+job — terminal files keep their outcome (no double transfer), queued
+files are re-admitted idempotently (dedupe decisions replay in original
+order), and files that were ACTIVE at crash time come back with the
+session id and door of their interrupted attempt so the recovery loop
+can re-attach them via SESSION_RESUME and move only the missing suffix.
+
+Record kinds (every record carries the sim time ``t``):
+
+``spec``
+    The run's job-mix spec, written once by the runner so a journal file
+    is self-contained (``repro sched --recover <journal>`` needs no
+    ``--spec``).
+``submit`` / ``admit`` / ``reject``
+    A bulk submission's intent (tenant, priority, optional deadline, the
+    full file list) followed by the admission decision.  Dedupe is NOT
+    recorded — replay re-derives it from record order, which reproduces
+    the original decisions exactly.
+``attempt``
+    One transfer attempt started: file, door, session id, attempt count.
+``attempt_fail``
+    The attempt died with a typed error; carries the advanced
+    alternatives cursor so orderly failover resumes where it left off.
+``finish`` / ``file_failed`` / ``cancel``
+    Terminal file transitions (job state is derived, never journaled).
+``checkpoint``
+    Written by :meth:`TransferBroker.drain` once in-flight work hit
+    zero; carries a state snapshot that replay cross-checks, making a
+    clean restart-from-checkpoint distinguishable from crash recovery.
+``recover``
+    Boundary marker appended by the *new* incarnation at replay time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
+
+__all__ = ["Journal", "RecoveredState", "replay"]
+
+SCHEMA = "repro.sched.journal/1"
+
+
+class Journal:
+    """In-memory record log with an optional always-flushed file mirror.
+
+    ``append`` is a list append (no simulation events, no I/O unless a
+    ``path`` is given), so journaling never perturbs the simulated
+    schedule — the determinism anchors hold with it always on.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 records: Optional[List[Dict[str, Any]]] = None) -> None:
+        self.records: List[Dict[str, Any]] = list(records or [])
+        self.path = path
+        self._fh = None
+        if path is not None:
+            self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        rec = {"kind": kind, **fields}
+        self.records.append(rec)
+        if self._fh is not None:
+            self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            self._fh.flush()
+        return rec
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def sync(self, path: str) -> None:
+        """Write the full record log to ``path`` (one JSON line each)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str, mirror: bool = False) -> "Journal":
+        """Read a journal file back; ``mirror`` keeps appending to it."""
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return cls(path=path if mirror else None, records=records)
+
+    def spec(self) -> Optional[Dict[str, Any]]:
+        """The run spec embedded by the runner, if any."""
+        for rec in self.records:
+            if rec["kind"] == "spec":
+                return rec["spec"]
+        return None
+
+    def replay(self) -> "RecoveredState":
+        return replay(self.records)
+
+
+@dataclass
+class RecoveredState:
+    """What a journal replay reconstructs."""
+
+    #: Every journaled job, original submission order, states replayed.
+    jobs: List[Job] = field(default_factory=list)
+    #: Primary tasks that were ACTIVE at the journal's end — candidates
+    #: for SESSION_RESUME re-attachment (session id and door are on the
+    #: task's ``last_session`` / ``last_door``).
+    resume: List[FileTask] = field(default_factory=list)
+    #: True when the journal ends at a drain checkpoint (clean restart)
+    #: rather than mid-flight (crash recovery).
+    clean: bool = False
+
+
+def _job_snapshot(jobs: List[Job]) -> Dict[str, str]:
+    return {job.job_id: job.state.value for job in jobs}
+
+
+def replay(records: List[Dict[str, Any]]) -> RecoveredState:
+    """Rebuild job/file state by applying records in order.
+
+    Pure bookkeeping: no engine, no events.  Raises ``ValueError`` when a
+    checkpoint snapshot disagrees with the replayed state (a corrupted or
+    truncated journal).
+    """
+    jobs_by_id: Dict[str, Job] = {}
+    order: List[Job] = []
+    pending: Dict[str, Job] = {}  # submitted, admission not yet replayed
+    dest_owner: Dict[str, FileTask] = {}
+    clean = False
+
+    for rec in records:
+        kind = rec["kind"]
+        if kind in ("spec", "recover"):
+            continue
+        t = float(rec.get("t", 0.0))
+        if kind == "submit":
+            specs = [
+                TransferSpec(f["path"], int(f["size"]),
+                             tuple(f.get("sources", ())))
+                for f in rec["files"]
+            ]
+            job = Job.build(rec["job_id"], rec["tenant"], specs,
+                            int(rec.get("priority", 0)))
+            job.submitted_at = t
+            job.deadline = rec.get("deadline")
+            for task in job.files:
+                task.submitted_at = t
+            jobs_by_id[job.job_id] = job
+            order.append(job)
+            pending[job.job_id] = job
+            continue
+        if kind == "reject":
+            job = pending.pop(rec["job_id"])
+            job.state = JobState.CANCELED
+            job.finished_at = t
+            for task in job.files:
+                task.state = FileState.CANCELED
+                task.finished_at = t
+                task.error = rec.get("reason")
+            continue
+        if kind == "admit":
+            job = pending.pop(rec["job_id"])
+            for task in job.files:
+                owner = dest_owner.get(task.path)
+                if owner is not None and not owner.state.terminal:
+                    task.duplicate_of = owner
+                    owner.duplicates.append(task)
+                    continue
+                dest_owner[task.path] = task
+            continue
+        if kind == "checkpoint":
+            snapshot = rec.get("state", {}).get("jobs")
+            if snapshot is not None and snapshot != _job_snapshot(order):
+                raise ValueError(
+                    "journal checkpoint snapshot disagrees with replayed "
+                    "state (corrupted or truncated journal)"
+                )
+            clean = True
+            continue
+        # Per-file transition records from here on.
+        clean = False
+        task = jobs_by_id[rec["job_id"]].files[rec["index"]]
+        if kind == "attempt":
+            task.attempts = int(rec["attempts"])
+            task.state = FileState.ACTIVE
+            if task.started_at is None:
+                task.started_at = t
+            task.last_session = rec["session"]
+            task.last_door = rec["door"]
+            task.job._note_progress()
+        elif kind == "attempt_fail":
+            task.alt_cursor = int(rec["alt_cursor"])
+            task.state = FileState.SUBMITTED
+        elif kind == "finish":
+            if rec.get("resumed_from"):
+                task.resumed_from = int(rec["resumed_from"])
+                task.recovered = True
+            task.resolve(FileState.FINISHED, t, source_used=rec["door"])
+        elif kind == "file_failed":
+            task.resolve(FileState.FAILED, t, error=rec.get("error"))
+        elif kind == "cancel":
+            task.resolve(FileState.CANCELED, t, error=rec.get("reason"))
+        else:
+            raise ValueError(f"unknown journal record kind {kind!r}")
+
+    resume: List[FileTask] = []
+    for job in order:
+        if job.state.terminal and job.finished_at is None:
+            job.finished_at = max(
+                (task.finished_at or 0.0) for task in job.files
+            )
+        for task in job.files:
+            if task.duplicate_of is None and task.state is FileState.ACTIVE:
+                resume.append(task)
+            elif task.state is FileState.READY:
+                task.state = FileState.SUBMITTED
+    return RecoveredState(jobs=order, resume=resume, clean=clean)

@@ -1,19 +1,40 @@
-"""Wire a job-mix spec onto a testbed and run it to completion."""
+"""Wire a job-mix spec onto a testbed and run it to completion.
+
+Besides the happy path, the runner owns the durability harness:
+
+- every run journals its state transitions (``journal_path`` mirrors the
+  records to disk as flushed JSON lines);
+- :class:`BrokerSupervisor` restarts a crashed broker from the journal
+  (``faults.broker_crashes`` in the spec schedules the crashes), so a
+  run survives its scheduler dying mid-flight;
+- ``recover=<journal file>`` with no spec restarts a *previous* run from
+  its journal — the spec is embedded in the journal's first record;
+- ``audit=True`` swaps in a verifiable pattern source and a collecting
+  sink, and :func:`audit_delivery` then asserts zero lost files, zero
+  divergent duplicate bytes, and byte-identical content per finished
+  file even across broker crashes and session resumes.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.apps.io import ZeroSource
+from repro.apps.io import CollectingSink, PatternSource, ZeroSource
 from repro.apps.rftp import RftpServer
 from repro.core import ProtocolConfig, RdmaMiddleware
-from repro.sched.broker import BrokerConfig, RftpDoor, TenantPolicy, TransferBroker
-from repro.sched.jobs import Job, TransferSpec
+from repro.sched.broker import (
+    RftpDoor,
+    SchedulerConfig,
+    TenantPolicy,
+    TransferBroker,
+)
+from repro.sched.jobs import FileState, Job, TransferSpec
+from repro.sched.journal import Journal
 from repro.sched.spec import validate_spec
 from repro.testbeds import TESTBEDS, Testbed
 
-__all__ = ["SchedResult", "run_sched"]
+__all__ = ["SchedResult", "BrokerSupervisor", "run_sched", "audit_delivery"]
 
 _PORT = 2811
 
@@ -24,8 +45,91 @@ _FAULT_KEYS = {
     "seed", "write_fault_rate", "ctrl_drop_rate", "ctrl_delay_rate",
     "ctrl_delay_seconds", "link_flaps", "latency_spike_rate",
     "latency_spike_seconds", "payload_corrupt_rate", "sink_crashes",
-    "source_crashes", "qp_kills", "heartbeat_drop_rate", "fallback_deny",
+    "source_crashes", "broker_crashes", "qp_kills", "heartbeat_drop_rate",
+    "fallback_deny",
 }
+
+
+class BrokerSupervisor:
+    """Restarts a crashed broker from its journal.
+
+    The process-supervisor role a real deployment gives systemd: when
+    :meth:`crash` kills the current incarnation, a restart fires after
+    ``restart_delay`` seconds and the next incarnation is built with
+    :meth:`TransferBroker.recover` from the (surviving) journal.  With
+    ``recover_path`` set, the journal takes a full durability round trip
+    through that file first — recovery then sees exactly what would have
+    reached disk, not in-process state.  Submissions arriving while the
+    broker is down are queued and replayed, in order, on the new
+    incarnation.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        doors: List[RftpDoor],
+        config: Optional[SchedulerConfig] = None,
+        tenants: Optional[Dict[str, TenantPolicy]] = None,
+        journal: Optional[Journal] = None,
+        seed: int = 0,
+        restart_delay: float = 0.5,
+        recover_path: Optional[str] = None,
+    ) -> None:
+        if restart_delay <= 0:
+            raise ValueError("restart_delay must be positive")
+        self.engine = engine
+        self.doors = doors
+        self.config = config
+        self.tenants = tenants
+        self.seed = seed
+        self.restart_delay = restart_delay
+        self.recover_path = recover_path
+        self.broker = TransferBroker(
+            engine, doors, config, tenants, journal=journal, seed=seed
+        )
+        self.recoveries = 0
+        self._pending: List[Tuple[Any, ...]] = []
+
+    def submit(self, tenant: str, files: List[TransferSpec],
+               priority: int = 0, job_id: Optional[str] = None,
+               deadline: Optional[float] = None) -> Optional[Job]:
+        """Submit through the current incarnation; while the broker is
+        down, the submission queues for the next one (returns None)."""
+        if self.broker._dead:
+            self._pending.append((tenant, files, priority, job_id, deadline))
+            return None
+        return self.broker.submit(
+            tenant, files, priority=priority, job_id=job_id,
+            deadline=deadline,
+        )
+
+    def crash(self) -> None:
+        """Kill the current incarnation and schedule its restart."""
+        if self.broker._dead:
+            return
+        journal = self.broker.journal
+        self.broker.crash()
+        self.engine.process(self._restart(journal))
+
+    def _restart(self, journal: Journal):
+        yield self.engine.timeout(self.restart_delay)
+        if self.recover_path is not None:
+            # Durability round trip: recovery must see what reached the
+            # file, not the dead incarnation's in-memory list.
+            journal.close()
+            journal.sync(self.recover_path)
+            journal = Journal.load(self.recover_path, mirror=True)
+        self.broker = TransferBroker.recover(
+            self.engine, self.doors, journal,
+            config=self.config, tenants=self.tenants, seed=self.seed,
+        )
+        self.recoveries += 1
+        pending, self._pending = self._pending, []
+        for tenant, files, priority, job_id, deadline in pending:
+            self.broker.submit(
+                tenant, files, priority=priority, job_id=job_id,
+                deadline=deadline,
+            )
 
 
 @dataclass
@@ -36,6 +140,24 @@ class SchedResult:
     broker: TransferBroker
     testbed: Testbed
     header: Dict[str, Any]
+    #: The run's journal (in-memory; mirrored to disk when asked).
+    journal: Optional[Journal] = None
+    #: Broker restarts the supervisor performed (crash recoveries).
+    recoveries: int = 0
+    #: True when the run ended through ``drain_at`` with a checkpoint.
+    drained: bool = False
+    #: Wired only under ``audit=True``.
+    source: Any = None
+    sink: Any = None
+    block_size: int = 0
+    audit_ok: Optional[bool] = None
+    audit_problems: List[str] = field(default_factory=list)
+    #: Bytes a block delivered more than once contributed beyond its
+    #: first copy (identical-content overlap across a session resume).
+    overlap_bytes: int = 0
+    #: Bytes moved after crash recovery by resumed sessions (the suffix
+    #: past each sink restart marker).
+    recovered_suffix_bytes: int = 0
 
     @property
     def all_finished(self) -> bool:
@@ -52,21 +174,124 @@ def _build_fault_plan(obj: Dict[str, Any]):
     for key in ("link_flaps", "qp_kills"):
         if key in kwargs:
             kwargs[key] = tuple(tuple(item) for item in kwargs[key])
-    for key in ("sink_crashes", "source_crashes"):
+    for key in ("sink_crashes", "source_crashes", "broker_crashes"):
         if key in kwargs:
             kwargs[key] = tuple(kwargs[key])
     return FaultPlan(**kwargs)
 
 
+def audit_delivery(
+    jobs: List[Job],
+    sink: CollectingSink,
+    source: PatternSource,
+    block_size: int,
+) -> Tuple[bool, List[str], int, int]:
+    """Byte-exactness audit over a collecting sink's delivery log.
+
+    For every FINISHED primary file, the blocks delivered under its
+    successful session id must cover exactly ``0..nblocks-1`` with the
+    expected pattern payloads and lengths.  A block may appear twice only
+    when the session was resumed across a crash AND both copies are
+    identical — divergent re-delivery is corruption.  Returns
+    ``(ok, problems, overlap_bytes, recovered_suffix_bytes)``.
+    """
+    by_session: Dict[int, Dict[int, List[Tuple[Any, Any]]]] = {}
+    for header, payload in sink.deliveries:
+        by_session.setdefault(header.session_id, {}) \
+            .setdefault(header.seq, []).append((header, payload))
+
+    problems: List[str] = []
+    overlap_bytes = 0
+    recovered_suffix_bytes = 0
+    for job in jobs:
+        for task in job.files:
+            if task.duplicate_of is not None:
+                continue
+            if task.state is not FileState.FINISHED:
+                continue
+            label = f"{job.job_id}:{task.path}"
+            sid = task.last_session
+            blocks = by_session.get(sid or -1)
+            if blocks is None:
+                problems.append(f"{label}: no deliveries for session {sid}")
+                continue
+            total_blocks = -(-task.size // block_size)
+            if sorted(blocks) != list(range(total_blocks)):
+                problems.append(
+                    f"{label}: delivered seqs {sorted(blocks)} != "
+                    f"0..{total_blocks - 1}"
+                )
+                continue
+            delivered = 0
+            for seq, copies in sorted(blocks.items()):
+                header, payload = copies[0]
+                expected_len = min(block_size, task.size - seq * block_size)
+                if header.length != expected_len:
+                    problems.append(
+                        f"{label}: seq {seq} length {header.length} != "
+                        f"{expected_len}"
+                    )
+                if payload != (source.tag, seq, expected_len):
+                    problems.append(
+                        f"{label}: seq {seq} payload corrupted ({payload!r})"
+                    )
+                for other_header, other_payload in copies[1:]:
+                    if (other_header, other_payload) != (header, payload):
+                        problems.append(
+                            f"{label}: seq {seq} re-delivered with divergent "
+                            f"content"
+                        )
+                    else:
+                        overlap_bytes += header.length
+                if len(copies) > 1 and not task.recovered:
+                    problems.append(
+                        f"{label}: seq {seq} delivered twice without a "
+                        f"session resume"
+                    )
+                delivered += header.length
+            if delivered != task.size:
+                problems.append(
+                    f"{label}: delivered {delivered} bytes != {task.size}"
+                )
+            if task.resumed_from > 0:
+                recovered_suffix_bytes += max(
+                    0, task.size - task.resumed_from * block_size
+                )
+    return not problems, problems, overlap_bytes, recovered_suffix_bytes
+
+
 def run_sched(
-    spec: Dict[str, Any],
+    spec: Optional[Dict[str, Any]] = None,
     config: Optional[ProtocolConfig] = None,
     horizon: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    recover: Optional[str] = None,
+    audit: bool = False,
+    restart_delay: float = 0.5,
 ) -> SchedResult:
     """Run one job-mix spec; returns once the engine drains (or hits
     ``horizon``).  Deterministic: the same spec (and seed) produces the
     same schedule, the same job states, and the same report bytes.
+
+    ``spec=None`` with ``recover=<journal file>`` restarts a previous run
+    from its journal instead: jobs come back by replay (no submissions),
+    and interrupted files continue.  ``journal_path`` mirrors a fresh
+    run's journal to disk; ``recover`` together with a spec makes every
+    in-run broker restart round-trip its journal through that file.
     """
+    recovering = spec is None
+    if recovering:
+        if recover is None:
+            raise ValueError("run_sched needs a spec or a journal to recover")
+        journal = Journal.load(recover, mirror=True)
+        spec = journal.spec()
+        if spec is None:
+            raise ValueError(
+                f"journal {recover!r} has no embedded spec record"
+            )
+    else:
+        journal = Journal(path=journal_path)
+        journal.append("spec", spec=spec)
     validate_spec(spec)
     testbed_name = spec.get("testbed", "ani-wan")
     if testbed_name not in TESTBEDS:
@@ -77,16 +302,20 @@ def run_sched(
     cfg = config or ProtocolConfig()
 
     injector = None
-    if spec.get("faults"):
+    if not recovering and spec.get("faults"):
         from repro.faults.injector import FaultInjector
 
         injector = FaultInjector(_build_fault_plan(spec["faults"]))
         injector.arm_network(testbed)
 
-    server = RftpServer(testbed, cfg)
+    sink = CollectingSink(testbed.dst) if audit else None
+    server = RftpServer(testbed, cfg, sink)
     server.start(_PORT)
     client_mw = RdmaMiddleware(testbed.src, testbed.src_dev, testbed.cm, cfg)
-    source = ZeroSource(testbed.src)
+    if audit:
+        source: Any = PatternSource(testbed.src, tag="sched")
+    else:
+        source = ZeroSource(testbed.src)
 
     n_doors = int(spec.get("doors", 1))
     door_sessions = int(spec.get("door_sessions", 4))
@@ -105,7 +334,10 @@ def run_sched(
         )
         for i in range(n_doors)
     ]
-    broker_cfg = BrokerConfig(max_active=int(spec.get("max_active", 8)))
+    broker_cfg = SchedulerConfig(
+        max_active=int(spec.get("max_active", 8)),
+        watchdog=bool(spec.get("watchdog", False)),
+    )
     tenants = {
         name: TenantPolicy(
             weight=float(t.get("weight", 1.0)),
@@ -114,15 +346,32 @@ def run_sched(
         )
         for name, t in spec.get("tenants", {}).items()
     }
-    broker = TransferBroker(engine, doors, broker_cfg, tenants)
+    supervisor = BrokerSupervisor(
+        engine, doors, broker_cfg, tenants,
+        journal=None if recovering else journal,
+        seed=seed, restart_delay=restart_delay,
+        recover_path=None if recovering else recover,
+    )
+    if injector is not None:
+        injector.arm_broker(supervisor)
 
     job_specs = spec["jobs"]
+    drain_at = spec.get("drain_at")
+    status = {"drained": False}
 
     def _main():
         for door in doors:
             yield door.open()
         if injector is not None:
             injector.arm_source(doors[0].link)
+        if recovering:
+            # Jobs come back by journal replay, not submission; replace
+            # the supervisor's fresh (empty) incarnation.
+            supervisor.broker = TransferBroker.recover(
+                engine, doors, journal,
+                config=broker_cfg, tenants=tenants, seed=seed,
+            )
+            return
         for i, js in enumerate(job_specs):
             engine.process(_submit(i, js))
 
@@ -137,16 +386,28 @@ def run_sched(
             )
             for f in js["files"]
         ]
-        broker.submit(
+        supervisor.submit(
             js.get("tenant", "default"),
             files,
             priority=int(js.get("priority", 0)),
             job_id=js.get("job_id", f"job-{index + 1:04d}"),
+            deadline=js.get("deadline"),
         )
 
+    def _drain():
+        yield engine.timeout(float(drain_at))
+        if not supervisor.broker._dead:
+            yield supervisor.broker.drain()
+            status["drained"] = True
+
     engine.process(_main())
+    if not recovering and drain_at is not None:
+        # Absolute sim time, like ``broker_crashes`` — NOT relative to
+        # door opening the way per-job ``submit_at`` delays are.
+        engine.process(_drain())
     engine.run(until=horizon)
 
+    broker = supervisor.broker
     header = {
         "testbed": testbed_name,
         "seed": seed,
@@ -160,6 +421,21 @@ def run_sched(
             for name, t in sorted(broker._tenants.items())
         },
         "faults": bool(injector is not None),
+        "recovered": bool(recovering or supervisor.recoveries > 0),
+        "drained": status["drained"],
     }
-    return SchedResult(jobs=broker.jobs, broker=broker,
-                       testbed=testbed, header=header)
+    result = SchedResult(
+        jobs=broker.jobs, broker=broker, testbed=testbed, header=header,
+        journal=broker.journal, recoveries=supervisor.recoveries,
+        drained=status["drained"], source=source, sink=sink,
+        block_size=cfg.block_size,
+    )
+    if audit and sink is not None:
+        ok, problems, overlap, suffix = audit_delivery(
+            broker.jobs, sink, source, cfg.block_size
+        )
+        result.audit_ok = ok
+        result.audit_problems = problems
+        result.overlap_bytes = overlap
+        result.recovered_suffix_bytes = suffix
+    return result

@@ -68,9 +68,21 @@ def validate_spec(spec: Dict[str, Any]) -> None:
         for j, f in enumerate(files):
             if not isinstance(f, dict) or "path" not in f or "size" not in f:
                 raise ValueError(f"jobs[{i}].files[{j}] needs 'path' and 'size'")
+        deadline = job.get("deadline")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ValueError(f"jobs[{i}].deadline must be a positive number")
     doors = spec.get("doors", 1)
     if not isinstance(doors, int) or doors < 1:
         raise ValueError("'doors' must be a positive integer")
+    if not isinstance(spec.get("watchdog", False), bool):
+        raise ValueError("'watchdog' must be a boolean")
+    drain_at = spec.get("drain_at")
+    if drain_at is not None and (
+        not isinstance(drain_at, (int, float)) or drain_at <= 0
+    ):
+        raise ValueError("'drain_at' must be a positive number")
 
 
 def synthetic_spec(

@@ -140,3 +140,168 @@ def test_broker_and_policy_validation():
         TransferSpec("", MiB)
     with pytest.raises(ValueError):
         TransferSpec("/data/a", 0)
+
+
+def test_retry_and_watchdog_config_validation():
+    with pytest.raises(ValueError):
+        BrokerConfig(retry_backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        BrokerConfig(retry_backoff=2.0, retry_backoff_cap=1.0)
+    with pytest.raises(ValueError):
+        BrokerConfig(retry_jitter=1.5)
+    with pytest.raises(ValueError):
+        BrokerConfig(retry_jitter=-0.1)
+    with pytest.raises(ValueError):
+        BrokerConfig(watchdog_rto_multiplier=0)
+    with pytest.raises(ValueError):
+        BrokerConfig(watchdog_min_interval=0)
+
+
+def test_retry_jitter_is_deterministic_per_task_and_attempt():
+    from repro.sched.broker import _retry_jitter_fraction
+
+    a = _retry_jitter_fraction(0, "job-1", "/x", 1)
+    assert a == _retry_jitter_fraction(0, "job-1", "/x", 1)
+    assert 0.0 <= a < 1.0
+    # Any coordinate change de-synchronises the retry.
+    assert a != _retry_jitter_fraction(0, "job-1", "/x", 2)
+    assert a != _retry_jitter_fraction(0, "job-1", "/y", 1)
+    assert a != _retry_jitter_fraction(7, "job-1", "/x", 1)
+
+
+def test_retry_backoff_is_capped_exponential():
+    from repro.sched.jobs import Job
+
+    tb = roce_lan()
+    server, client = wire(tb)
+    cfg = BrokerConfig(retry_backoff=0.5, retry_backoff_factor=2.0,
+                       retry_backoff_cap=3.0, retry_jitter=0.0)
+    out = {}
+
+    def driver(env):
+        out["broker"] = yield client.open_broker(doors=1, broker_config=cfg)
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    broker = out["broker"]
+    job = Job.build("job-x", "t", [TransferSpec("/data/a", MiB)])
+    task = job.files[0]
+    delays = []
+    for attempt in (1, 2, 3, 4, 5):
+        task.attempts = attempt
+        delays.append(broker._retry_delay(task))
+    assert delays == [0.5, 1.0, 2.0, 3.0, 3.0]  # x2 growth, capped at 3
+
+    # With jitter on, the delay stretches by at most the jitter fraction
+    # and is reproducible (seeded, not drawn from a shared RNG).
+    broker.config = BrokerConfig(retry_backoff=0.5, retry_jitter=0.25)
+    task.attempts = 1
+    d1 = broker._retry_delay(task)
+    assert 0.5 <= d1 <= 0.5 * 1.25
+    assert d1 == broker._retry_delay(task)
+
+
+class _FailingDoor:
+    """Every attempt dies shortly after dispatch with a typed error."""
+
+    name = "door-bad"
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.active = 0
+        self.max_sessions = 4
+        self.link = None
+        self.breaker = None
+
+    def admissible(self, now):
+        return True
+
+    def transfer(self, task, session_id=None):
+        from repro.core.errors import TransferError
+        from repro.sim.events import Event
+
+        event = Event(self.engine)
+
+        def _die():
+            yield self.engine.timeout(0.01)
+            if not event.triggered:
+                event.fail(TransferError(session_id or 0, "boom"))
+
+        self.engine.process(_die())
+        return event
+
+
+def test_cancel_unparks_a_file_waiting_in_retry_backoff():
+    """Regression: canceling a job whose file sits in a retry backoff
+    timer must cancel it NOW (timer cancelled, cancel journaled) — not
+    leak it parked until the timer fires."""
+    from repro.sched.broker import TransferBroker
+
+    tb = roce_lan()
+    cfg = BrokerConfig(retry_backoff=60.0, retry_backoff_cap=60.0,
+                       retry_jitter=0.0, max_attempts=3, breaker_failures=5)
+    out = {}
+
+    def driver(env):
+        broker = TransferBroker(tb.engine, [_FailingDoor(tb.engine)], cfg)
+        job = broker.submit("t", [TransferSpec("/data/x", MiB)])
+        yield tb.engine.timeout(1.0)  # attempt failed, file now parked
+        assert len(broker._parked) == 1
+        assert broker._tenants["t"].parked == 1
+        assert broker.cancel_job(job, reason="user says stop")
+        out.update(broker=broker, job=job)
+        yield job.done
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+
+    broker, job = out["broker"], out["job"]
+    assert job.state is JobState.CANCELED
+    assert job.files[0].state is FileState.CANCELED
+    assert job.files[0].error == "user says stop"
+    assert broker._parked == {}
+    assert broker._tenants["t"].parked == 0
+    # The cancel hit the journal and no further attempt ever ran.
+    kinds = [r["kind"] for r in broker.journal.records]
+    assert kinds.count("cancel") == 1
+    assert kinds.count("attempt") == 1
+
+
+def test_deadline_cancels_whatever_files_remain():
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(doors=1)
+        job = broker.submit(
+            "t", [TransferSpec(f"/data/f{i}", 8 * MiB) for i in range(4)],
+            deadline=1e-6,  # expires before any transfer can land
+        )
+        yield job.done
+        out.update(broker=broker, job=job)
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+
+    broker, job = out["broker"], out["job"]
+    assert job.state is JobState.CANCELED
+    assert all(t.state is FileState.CANCELED for t in job.files)
+    assert all("deadline exceeded" in t.error for t in job.files)
+    assert broker._m_deadline_cancels.count == 1
+
+
+def test_submit_rejects_nonpositive_deadline():
+    tb = roce_lan()
+    server, client = wire(tb)
+    out = {}
+
+    def driver(env):
+        broker = yield client.open_broker(doors=1)
+        with pytest.raises(ValueError):
+            broker.submit("t", [TransferSpec("/data/a", MiB)], deadline=0)
+        out["ok"] = True
+
+    tb.engine.process(driver(tb.engine))
+    tb.engine.run()
+    assert out["ok"]

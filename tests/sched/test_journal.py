@@ -1,0 +1,165 @@
+"""The write-ahead journal: replay semantics and file round-trips."""
+
+import pytest
+
+from repro.sched import (
+    FileState,
+    Journal,
+    JobState,
+    replay,
+    run_sched,
+    synthetic_spec,
+)
+
+MiB = 1 << 20
+
+
+def _submit(journal, job_id, paths, t=0.0, tenant="t", deadline=None):
+    journal.append(
+        "submit", t=t, job_id=job_id, tenant=tenant, priority=0,
+        deadline=deadline,
+        files=[{"path": p, "size": MiB, "sources": ["door-0"]} for p in paths],
+    )
+    journal.append("admit", t=t, job_id=job_id)
+
+
+def test_replay_reconstructs_terminal_outcomes():
+    j = Journal()
+    _submit(j, "job-1", ["/a", "/b", "/c"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=7, attempts=1)
+    j.append("finish", t=0.5, job_id="job-1", index=0, door="door-0")
+    j.append("attempt", t=0.1, job_id="job-1", index=1, door="door-0",
+             session=8, attempts=1)
+    j.append("file_failed", t=0.6, job_id="job-1", index=1, error="X: boom")
+    j.append("cancel", t=0.7, job_id="job-1", index=2, reason="user")
+
+    state = replay(j.records)
+    assert not state.clean and not state.resume
+    (job,) = state.jobs
+    assert job.state is JobState.FAILED  # one FAILED file, none pending
+    assert [t.state for t in job.files] == [
+        FileState.FINISHED, FileState.FAILED, FileState.CANCELED
+    ]
+    assert job.files[0].source_used == "door-0"
+    assert job.files[1].error == "X: boom"
+    assert job.finished_at == 0.7
+
+
+def test_replay_rederives_dedupe_from_record_order():
+    """Dedupe is not journaled — admission order reproduces it exactly,
+    and the primary's replayed finish cascades to the duplicate."""
+    j = Journal()
+    _submit(j, "job-1", ["/same"])
+    _submit(j, "job-2", ["/same", "/other"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=1, attempts=1)
+    j.append("finish", t=0.5, job_id="job-1", index=0, door="door-0")
+
+    state = replay(j.records)
+    j1, j2 = state.jobs
+    dup = j2.files[0]
+    assert dup.duplicate_of is j1.files[0]
+    assert dup.state is FileState.FINISHED  # cascade, not a second transfer
+    assert j2.files[1].state is FileState.SUBMITTED
+    assert not state.resume  # a duplicate is never a resume candidate
+
+
+def test_active_at_journal_end_is_a_resume_candidate():
+    j = Journal()
+    _submit(j, "job-1", ["/a"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=42, attempts=1)
+
+    state = replay(j.records)
+    (task,) = state.resume
+    assert task.state is FileState.ACTIVE
+    assert task.last_session == 42 and task.last_door == "door-0"
+    assert not state.clean
+
+
+def test_attempt_fail_restores_the_alternatives_cursor():
+    j = Journal()
+    _submit(j, "job-1", ["/a"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=1, attempts=1)
+    j.append("attempt_fail", t=0.2, job_id="job-1", index=0, alt_cursor=1,
+             attempts=1, error="ChannelLost")
+
+    state = replay(j.records)
+    task = state.jobs[0].files[0]
+    assert task.state is FileState.SUBMITTED  # queued again, not resumed
+    assert task.alt_cursor == 1 and task.attempts == 1
+    assert not state.resume
+
+
+def test_reject_cancels_the_submission_whole():
+    j = Journal()
+    j.append("submit", t=0.0, job_id="job-1", tenant="t", priority=0,
+             deadline=None,
+             files=[{"path": "/a", "size": MiB, "sources": []}])
+    j.append("reject", t=0.0, job_id="job-1", reason="queue full")
+    state = replay(j.records)
+    assert state.jobs[0].state is JobState.CANCELED
+    assert state.jobs[0].files[0].error == "queue full"
+
+
+def test_checkpoint_marks_clean_and_cross_checks_the_snapshot():
+    j = Journal()
+    _submit(j, "job-1", ["/a"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=1, attempts=1)
+    j.append("finish", t=0.5, job_id="job-1", index=0, door="door-0")
+    j.append("checkpoint", t=0.6, clean=True,
+             state={"jobs": {"job-1": "FINISHED"}})
+    assert replay(j.records).clean
+
+    # A transition after the checkpoint means it no longer ends clean.
+    j2 = Journal(records=list(j.records))
+    _submit(j2, "job-2", ["/b"], t=0.7)
+    j2.append("attempt", t=0.8, job_id="job-2", index=0, door="door-0",
+              session=2, attempts=1)
+    assert not replay(j2.records).clean
+
+    # A snapshot that disagrees with replayed state is corruption.
+    bad = list(j.records)
+    bad[-1] = {"kind": "checkpoint", "t": 0.6, "clean": True,
+               "state": {"jobs": {"job-1": "FAILED"}}}
+    with pytest.raises(ValueError, match="checkpoint snapshot"):
+        replay(bad)
+
+
+def test_resumed_finish_marks_the_task_recovered():
+    j = Journal()
+    _submit(j, "job-1", ["/a"])
+    j.append("attempt", t=0.1, job_id="job-1", index=0, door="door-0",
+             session=1, attempts=1)
+    j.append("finish", t=0.5, job_id="job-1", index=0, door="door-0",
+             resumed_from=17)
+    task = replay(j.records).jobs[0].files[0]
+    assert task.recovered and task.resumed_from == 17
+    assert task.state is FileState.FINISHED
+
+
+def test_journal_file_roundtrip(tmp_path):
+    """A run's journal written to disk loads back record-for-record and
+    is self-contained (the spec rides along)."""
+    path = str(tmp_path / "run.journal")
+    spec = synthetic_spec(seed=2, total_files=8, doors=1)
+    result = run_sched(spec, journal_path=path)
+    assert result.all_finished
+
+    loaded = Journal.load(path)
+    assert loaded.records == result.journal.records
+    assert loaded.spec() == spec
+    state = loaded.replay()
+    assert all(job.state is JobState.FINISHED for job in state.jobs)
+    assert not state.resume
+
+
+def test_unknown_record_kind_is_an_error():
+    j = Journal()
+    _submit(j, "job-1", ["/a"])
+    j.append("mystery", t=0.1, job_id="job-1", index=0)
+    with pytest.raises(ValueError, match="unknown journal record kind"):
+        replay(j.records)
