@@ -8,6 +8,7 @@ Examples
     python -m repro rftp --testbed ani-wan --bytes 8G --block-size 4M --channels 4 --pool 48
     python -m repro gridftp --testbed ani-wan --bytes 8G --streams 8
     python -m repro fio --testbed roce-lan --semantics read --block-size 64K --iodepth 16
+    python -m repro sweep --quick --jobs 4 --out sweep.jsonl
     python -m repro figure 10
     python -m repro ablation credits
     python -m repro chaos --testbed ani-wan --write-fault-rate 0.05 --ctrl-drop-rate 0.1
@@ -405,6 +406,28 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import copy
+
+    from repro.sweep import QUICK_SPEC, load_spec, run_sweep, write_jsonl
+
+    if args.spec:
+        spec = load_spec(args.spec)
+    elif args.quick:
+        spec = copy.deepcopy(QUICK_SPEC)
+    else:
+        print("error: need --spec or --quick", file=sys.stderr)
+        return 2
+    records = run_sweep(spec, jobs=args.jobs)
+    if args.out:
+        with open(args.out, "w") as fh:
+            write_jsonl(spec, records, fh)
+        print(f"wrote {len(records)} point(s) -> {args.out}", file=sys.stderr)
+    else:
+        write_jsonl(spec, records, sys.stdout)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.report import Table, format_gbps
     from repro.obs.bench import bench_filename, run_bench, write_bench
@@ -601,6 +624,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "lost file, divergent duplicate, or corrupt block)")
     _add_export_args(p)
     p.set_defaults(func=_cmd_sched)
+
+    p = sub.add_parser(
+        "sweep", help="run a parameter sweep sharded across worker processes"
+    )
+    p.add_argument("--spec", metavar="PATH", default=None,
+                   help="sweep spec file (JSON; see repro.sweep)")
+    p.add_argument("--quick", action="store_true",
+                   help="built-in 4-point RFTP sweep on the ANI WAN")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (<=1 runs inline; default inline)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write merged JSONL here (default: stdout)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "bench", help="run the deterministic benchmark suite, write BENCH_<date>.json"

@@ -125,12 +125,24 @@ class CpuThread:
         self._active = False
 
     def exec(self, seconds: float):
-        """Return a process event that completes after the CPU chunk runs."""
+        """Return an event that completes after the CPU chunk runs."""
         if self._active:
             raise RuntimeError(
                 f"thread {self.name!r} is already executing a chunk; "
                 "one CpuThread maps to one OS thread"
             )
+        scheduler = self.scheduler
+        engine = scheduler.engine
+        if engine.use_fluid and seconds > 0 and scheduler._pool.try_acquire():
+            # Fluid fast path: with a core free, grant/hold/release
+            # collapse into one timer at the analytically-known end.
+            # Contended chunks (no free core) fall through to the
+            # discrete FIFO queue, whose wakeup order must be exact.
+            self._active = True
+            scheduler._busy.add(1)
+            timer = engine.timeout(seconds)
+            timer.add_callback(self._fluid_done)
+            return timer
         self._active = True
 
         def _run():
@@ -140,6 +152,13 @@ class CpuThread:
                 self._active = False
 
         return self.scheduler.engine.process(_run())
+
+    def _fluid_done(self, event) -> None:
+        scheduler = self.scheduler
+        scheduler._busy.add(-1)
+        scheduler._pool.release()
+        scheduler._charge(self.group, event.delay)
+        self._active = False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<CpuThread {self.name} group={self.group}>"

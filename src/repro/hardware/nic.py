@@ -74,6 +74,11 @@ class Nic:
         self.profile = profile
         self.name = name
         self._wqe_pipe = Resource(engine, capacity=profile.engines)
+        #: Fluid busy-until horizon per WQE pipeline.  Service times are
+        #: uniform (``wqe_seconds``), so booking each WQE on the
+        #: earliest-free pipeline reproduces the discrete FIFO grant
+        #: order — and the ``max(now, free) + service`` floats — exactly.
+        self._wqe_free = [0.0] * profile.engines
         self._read_engine = Resource(engine, capacity=1)
         self.wqes_processed = Counter(f"{name}.wqes")
         self.read_requests_served = Counter(f"{name}.reads")
@@ -81,9 +86,20 @@ class Nic:
     # -- hardware-timing primitives (process generators) ----------------------
     def process_wqe(self) -> Generator:
         """Occupy a NIC pipeline for one WQE's processing time."""
+        engine = self.engine
+        if engine.use_fluid:
+            free = self._wqe_free
+            i = free.index(min(free))
+            now = engine.now
+            start = now if now > free[i] else free[i]
+            end = start + self.profile.wqe_seconds
+            free[i] = end
+            yield engine.timeout_at(end)
+            self.wqes_processed.add()
+            return
         yield self._wqe_pipe.request()
         try:
-            yield self.engine.timeout(self.profile.wqe_seconds)
+            yield engine.timeout(self.profile.wqe_seconds)
         finally:
             self._wqe_pipe.release()
         self.wqes_processed.add()

@@ -30,6 +30,11 @@ class PcieBus:
         self.gbps = gbps
         self.bytes_per_second = gbps * 1e9 / 8.0
         self._bus = Resource(engine, capacity=1)
+        #: Fluid busy-until horizon: absolute time the bus frees up.
+        #: ``start = max(now, free); end = start + service`` reproduces
+        #: the exact floats of the discrete request/timeout/release
+        #: chain, so DMA completions are bit-identical in both modes.
+        self._fluid_free = 0.0
         self.bytes_moved = Counter("pcie_bytes")
 
     def dma(self, nbytes: int) -> Generator:
@@ -38,9 +43,19 @@ class PcieBus:
             raise ValueError("DMA size must be non-negative")
         if nbytes == 0:
             return
+        engine = self.engine
+        if engine.use_fluid:
+            free = self._fluid_free
+            now = engine.now
+            start = now if now > free else free
+            end = start + nbytes / self.bytes_per_second
+            self._fluid_free = end
+            yield engine.timeout_at(end)
+            self.bytes_moved.add(nbytes)
+            return
         yield self._bus.request()
         try:
-            yield self.engine.timeout(nbytes / self.bytes_per_second)
+            yield engine.timeout(nbytes / self.bytes_per_second)
         finally:
             self._bus.release()
         self.bytes_moved.add(nbytes)

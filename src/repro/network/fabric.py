@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Sequence, Tuple
 
 from repro.network.link import Link
+from repro.sim.events import AllOf
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -27,6 +28,8 @@ class Path:
         self.engine = engine
         self.links: List[Link] = list(links)
         self.name = name
+        for link in self.links:
+            link._path_uses += 1
         reg = engine.metrics
         labels = {"path": name, "i": reg.sequence("path")}
         self._m_bytes = reg.counter("path.bytes_total", **labels)
@@ -56,13 +59,108 @@ class Path:
         Completes when the last byte arrives at the far end.  Consecutive
         transfers pipeline across hops because each link is an independent
         FIFO resource.
+
+        Under fluid mode a path whose links are clean (no faults armed,
+        never flapped) and exclusively owned books the whole hop chain
+        analytically — ``start_i = max(end_{i-1}, free_i)`` per hop plus
+        the summed propagation — as one timer.  The chain evaluates the
+        same float expressions hop-by-hop execution would, so arrival
+        times are bit-identical; any ineligible link drops the transfer
+        to per-hop serialisation.
         """
+        engine = self.engine
+        if engine.use_fluid and nbytes > 0:
+            links = self.links
+            chain_ok = True
+            for link in links:
+                if (
+                    link.use_fluid is False
+                    or link.fault_hook is not None
+                    or link._flap_seen
+                    or link._path_uses != 1
+                ):
+                    chain_ok = False
+                    break
+            if chain_ok:
+                t = engine.now
+                for link in links:
+                    free = link._fluid_free
+                    start = t if t > free else free
+                    t = start + nbytes / link.bytes_per_second
+                    link._fluid_free = t
+                delay = self.latency
+                if delay > 0:
+                    t = t + delay
+                if t > engine.now:
+                    yield engine.timeout_at(t)
+                for link in links:
+                    link.bytes_sent.add(nbytes)
+                self._m_bytes.add(nbytes)
+                return
         for link in self.links:
             yield from link.serialize(nbytes)
         delay = self.latency
         if delay > 0:
             yield self.engine.timeout(delay)
         self._m_bytes.add(nbytes)
+
+    def transmit_burst(self, nbytes: int, count: int) -> Generator:
+        """Process generator: move ``count`` back-to-back units of
+        ``nbytes`` down the path, completing when the *last* unit arrives.
+
+        Models a packetized window (a cwnd of MTU-sized segments): units
+        pipeline across hops exactly as ``count`` concurrent
+        :meth:`transmit` calls issued in order would — unit *j*'s first
+        hop starts as soon as the wire frees, not after unit *j-1*
+        arrives.  Under fluid mode an eligible path books the entire
+        burst analytically as a single timer (this is the fast-forward
+        that replaces per-packet events); otherwise the units run as
+        real concurrent transfers joined by ``AllOf``.
+        """
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if count < 0:
+            raise ValueError("burst count must be non-negative")
+        if count == 0:
+            return
+        if count == 1 or nbytes == 0:
+            yield from self.transmit(nbytes)
+            return
+        engine = self.engine
+        if engine.use_fluid:
+            links = self.links
+            chain_ok = True
+            for link in links:
+                if (
+                    link.use_fluid is False
+                    or link.fault_hook is not None
+                    or link._flap_seen
+                    or link._path_uses != 1
+                ):
+                    chain_ok = False
+                    break
+            if chain_ok:
+                now = engine.now
+                t = now
+                for _ in range(count):
+                    t = now
+                    for link in links:
+                        free = link._fluid_free
+                        start = t if t > free else free
+                        t = start + nbytes / link.bytes_per_second
+                        link._fluid_free = t
+                delay = self.latency
+                if delay > 0:
+                    t = t + delay
+                if t > now:
+                    yield engine.timeout_at(t)
+                total = nbytes * count
+                for link in links:
+                    link.bytes_sent.add(total)
+                self._m_bytes.add(total)
+                return
+        procs = [engine.process(self.transmit(nbytes)) for _ in range(count)]
+        yield AllOf(engine, procs)
 
     def deliver_latency(self, nbytes: int = 64) -> Generator:
         """Process generator: deliver a small control datagram.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.sim.resources import Resource
 
@@ -48,6 +48,23 @@ class Link:
         self.mtu = mtu
         self.name = name
         self._wire = Resource(engine, capacity=1)
+        #: Fluid busy-until horizon for the wire (absolute sim time).
+        #: ``start = max(arrival, free); end = start + service`` is the
+        #: same float chain the discrete request/timeout/release path
+        #: produces, so fluid completions are bit-identical.
+        self._fluid_free = 0.0
+        #: How many :class:`~repro.network.fabric.Path` objects serialise
+        #: through this link — whole-path chain booking is only sound for
+        #: a link owned by exactly one path.
+        self._path_uses = 0
+        #: Set once a flap is injected: paths stop booking whole-path
+        #: chains and fall back to per-hop reservations, which model the
+        #: outage window.
+        self._flap_seen = False
+        #: Per-link escape hatch: ``False`` forces discrete events on
+        #: this link even when the engine runs fluid.  Flip it before
+        #: traffic flows — the two modes must not share a busy wire.
+        self.use_fluid: Optional[bool] = None
         reg = engine.metrics
         labels = {"link": name, "i": reg.sequence("link")}
         self.bytes_sent = reg.counter("link.bytes_sent", **labels)
@@ -78,6 +95,7 @@ class Link:
         if duration <= 0:
             raise ValueError("flap duration must be positive")
         self._down_until = max(self._down_until, self.engine.now + duration)
+        self._flap_seen = True
         self.engine.trace("link", "flap", name=self.name, until=self._down_until)
 
     @property
@@ -93,6 +111,31 @@ class Link:
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
         if nbytes == 0:
+            return
+        engine = self.engine
+        if (
+            engine.use_fluid
+            and self.use_fluid is not False
+            and self.fault_hook is None
+        ):
+            # Fluid fast path: book the wire analytically and sleep once
+            # until the completion instant.  The arrival loop replicates
+            # the discrete stall loop's float arithmetic (and stall
+            # counts) for a flap that is already in force; a flap
+            # injected *while* a reservation is parked is absorbed
+            # optimistically (bits treated as already scheduled) — the
+            # fault injector therefore pins flap-armed links to discrete
+            # mode, where the outage semantics are exact.
+            arrival = engine.now
+            while arrival < self._down_until:
+                self._m_flap_stalls.add()
+                arrival = arrival + (self._down_until - arrival)
+            free = self._fluid_free
+            start = arrival if arrival > free else free
+            end = start + nbytes / self.bytes_per_second
+            self._fluid_free = end
+            yield engine.timeout_at(end)
+            self.bytes_sent.add(nbytes)
             return
         while self.engine.now < self._down_until:
             self._m_flap_stalls.add()

@@ -3,7 +3,9 @@
 A case regresses when, beyond the tolerance (default 10 %):
 
 * ``gbps`` drops (throughput is better-higher),
-* ``p50_us`` or ``p99_us`` rises (latency is better-lower),
+* ``p50_us`` or ``p99_us`` rises (latency is better-lower) — including
+  from a zero baseline, where no finite ratio exists but the change is
+  still reported and gated,
 * the case is missing from the current run entirely.
 
 ``events_per_sec`` is wall-clock dependent (host load, hardware), so it
@@ -45,7 +47,10 @@ class Delta:
     def describe(self) -> str:
         if self.baseline is None or self.current is None:
             return f"{self.case}.{self.metric}: skipped (no data)"
-        pct = "n/a" if self.ratio is None else f"{self.ratio * 100:+.1f}%"
+        if self.ratio is None:
+            pct = "from zero" if self.current != 0 else "n/a"
+        else:
+            pct = f"{self.ratio * 100:+.1f}%"
         flag = " REGRESSION" if self.regressed else ""
         return (
             f"{self.case}.{self.metric}: {self.baseline:.6g} -> "
@@ -129,7 +134,13 @@ def compare_bench(
                 continue
             ratio = _relative_change(float(b), float(c))
             if ratio is None:
-                regressed = False
+                # Zero baseline: no finite ratio exists, but a metric
+                # appearing from nothing is a real change, not a skip —
+                # a better-lower metric (latency) rising from 0 gates as
+                # a regression; a better-higher one rising from 0 is an
+                # improvement.  Masking this behind ``regressed = False``
+                # once hid a latency metric that sprang into existence.
+                regressed = float(c) != 0.0 and not higher_is_better
             elif higher_is_better:
                 regressed = ratio < -tolerance
             else:

@@ -18,8 +18,12 @@ def exact_percentile(values: Sequence[float], q: float) -> float:
     """Percentile ``q`` (0–100) with linear interpolation between order
     statistics — the same convention as ``numpy.percentile``'s default.
 
-    Returns NaN for an empty sequence.
+    Returns NaN for an empty sequence; raises :class:`ValueError` for a
+    ``q`` outside [0, 100] (a silently-clamped typo like ``q=990`` would
+    report the max and hide the bug).
     """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     n = len(values)
     if n == 0:
         return float("nan")

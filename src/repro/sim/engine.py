@@ -25,12 +25,12 @@ a run cancels.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.obs import runtime as _obs_runtime
 from repro.obs.registry import MetricsRegistry
-from repro.sim.events import Event, StopEngine, Timeout
+from repro.sim.events import Event, StopEngine, Timeout, TimeoutAt
 from repro.sim.process import Process
 
 __all__ = ["Engine", "SimulationError", "StopEngine"]
@@ -58,11 +58,21 @@ class Engine:
     WHEEL_TICK = 64e-6
     WHEEL_SLOTS = 2048
 
-    def __init__(self, use_wheel: bool = True) -> None:
+    def __init__(self, use_wheel: bool = True, use_fluid: bool = True) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._eid: int = 0
         self._stopped = False
+        #: Master switch for the fluid fast-forward paths.  When set,
+        #: FIFO resources grant immediately-satisfiable requests without
+        #: a queue round trip, and steady-state pipelines (links, DMA,
+        #: WQE processing, CPU chunks) book completions analytically as
+        #: absolute-deadline timers instead of request/hold/release event
+        #: chains.  Simulation *results* (clock readings, byte counts,
+        #: metric values) are bit-identical; only the number of kernel
+        #: events differs.  ``Engine(use_fluid=False)`` is the escape
+        #: hatch that forces every seam back to discrete events.
+        self.use_fluid = use_fluid
         # -- timer wheel state --
         self._use_wheel = use_wheel
         self._wheel_tick: float = self.WHEEL_TICK
@@ -82,8 +92,12 @@ class Engine:
         #: thousands of empty slots apart).
         self._wheel_occupied: List[int] = []
         #: Entries drained from the wheel, sorted by ``(time, eid)``;
-        #: merged against the heap head at dispatch.
+        #: merged against the heap head at dispatch.  ``_rhead`` is the
+        #: index of the first live entry — dispatch consumes by advancing
+        #: the cursor (O(1)) instead of ``pop(0)`` (O(n)), and the dead
+        #: prefix is compacted away once it dominates the list.
         self._ready: List[Tuple[float, int, Event]] = []
+        self._rhead: int = 0
         #: Registry every instrumented component on this engine hangs
         #: its counters/gauges/histograms off.
         self.metrics = MetricsRegistry()
@@ -118,6 +132,16 @@ class Engine:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> TimeoutAt:
+        """Create an event that fires at the absolute instant ``when``.
+
+        The fluid fast-forward paths compute completion times
+        analytically; ``now + (when - now)`` is not ``when`` in floating
+        point, so an absolute-deadline timer is what keeps those
+        completions bit-identical to the discrete chains they replace.
+        """
+        return TimeoutAt(self, when, value)
+
     def process(self, generator: Generator) -> Process:
         """Start a new process from a generator function invocation."""
         return Process(self, generator)
@@ -135,8 +159,14 @@ class Engine:
         timer's position in the total ``(time, eid)`` order is the same
         whether it lands in the wheel or the heap.
         """
+        self._schedule_timer(event, self._now + delay)
+
+    def _push_timer_at(self, event: Event, when: float) -> None:
+        """Queue a timer due at the absolute instant ``when``."""
+        self._schedule_timer(event, when)
+
+    def _schedule_timer(self, event: Event, when: float) -> None:
         self._eid += 1
-        when = self._now + delay
         if self._use_wheel:
             tick = self._wheel_tick
             if self._wheel_count == 0:
@@ -149,8 +179,8 @@ class Engine:
             offset = slot - self._wheel_cursor
             if offset < 0:
                 # Due inside the already-drained window: straight to the
-                # sorted ready list.
-                insort(self._ready, (when, self._eid, event))
+                # sorted ready list (past the dead prefix).
+                insort(self._ready, (when, self._eid, event), self._rhead)
                 return
             if offset < self._wheel_nslots:
                 index = slot % self._wheel_nslots
@@ -180,8 +210,8 @@ class Engine:
         occupied = self._wheel_occupied
         while occupied:
             head = heap[0][0] if heap else None
-            if ready and (head is None or ready[0][0] < head):
-                head = ready[0][0]
+            if len(ready) > self._rhead and (head is None or ready[self._rhead][0] < head):
+                head = ready[self._rhead][0]
             first = occupied[0]
             # Entries in slot ``first`` are due at >= first * tick; a
             # strictly earlier head cannot be outrun, ties must drain so
@@ -199,8 +229,21 @@ class Engine:
             self._wheel_cursor = first + 1
             del occupied[0]
             self._wheel_count -= len(bucket)
-            ready.extend(bucket)
-            ready.sort()
+            # Buckets are appended in push order, so whens inside one
+            # slot may interleave; sort the bucket (small) and merge it
+            # instead of re-sorting the whole ready list per slot.
+            if len(bucket) > 1:
+                bucket.sort()
+            if not ready or ready[-1] <= bucket[0]:
+                # The common (in fact, provably only) case: everything
+                # already in ready is from an earlier slot or the drained
+                # window, hence strictly before this slot's boundary.
+                ready.extend(bucket)
+            else:
+                i = bisect_left(ready, bucket[0], self._rhead)
+                tail = ready[i:]
+                del ready[i:]
+                ready.extend(heapq.merge(tail, bucket))
             bucket.clear()
 
     # -- execution ------------------------------------------------------------
@@ -208,9 +251,22 @@ class Engine:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
         if self._wheel_count:
             self._drain_wheel()
-        ready_t = self._ready[0][0] if self._ready else _INF
+        rhead = self._rhead
+        ready_t = self._ready[rhead][0] if len(self._ready) > rhead else _INF
         heap_t = self._heap[0][0] if self._heap else _INF
         return ready_t if ready_t < heap_t else heap_t
+
+    def _take_ready(self) -> Tuple[float, int, Event]:
+        """Consume the ready head by advancing the cursor (O(1) pop)."""
+        ready = self._ready
+        rhead = self._rhead
+        entry = ready[rhead]
+        rhead += 1
+        if rhead >= 512 and rhead * 2 >= len(ready):
+            del ready[:rhead]
+            rhead = 0
+        self._rhead = rhead
+        return entry
 
     def _pop_next(self) -> Tuple[float, int, Event]:
         """Remove and return the globally next ``(time, eid, event)``."""
@@ -218,10 +274,10 @@ class Engine:
             self._drain_wheel()
         ready = self._ready
         heap = self._heap
-        if ready:
-            if heap and heap[0] < ready[0]:
+        if len(ready) > self._rhead:
+            if heap and heap[0] < ready[self._rhead]:
                 return heapq.heappop(heap)
-            return ready.pop(0)
+            return self._take_ready()
         if heap:
             return heapq.heappop(heap)
         raise SimulationError("step() on an empty event queue")
@@ -272,14 +328,24 @@ class Engine:
                 if self._wheel_count:
                     self._drain_wheel()
                 # -- select the (time, eid)-least entry across queues --
-                if ready:
-                    if heap and heap[0] < ready[0]:
+                rhead = self._rhead
+                if len(ready) > rhead:
+                    rentry = ready[rhead]
+                    if heap and heap[0] < rentry:
                         entry = heappop(heap)
                     else:
-                        entry = ready.pop(0)
+                        rhead += 1
+                        if rhead >= 512 and rhead * 2 >= len(ready):
+                            del ready[:rhead]
+                            rhead = 0
+                        self._rhead = rhead
+                        entry = rentry
                 elif heap:
                     entry = heappop(heap)
                 else:
+                    if rhead:
+                        del ready[:]
+                        self._rhead = 0
                     break
                 when = entry[0]
                 if when > limit:
@@ -313,5 +379,9 @@ class Engine:
         raise StopEngine()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        queued = len(self._heap) + len(self._ready) + self._wheel_count
+        queued = (
+            len(self._heap)
+            + (len(self._ready) - self._rhead)
+            + self._wheel_count
+        )
         return f"<Engine t={self._now:.9f} queued={queued}>"

@@ -14,7 +14,15 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
 
-__all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "StopEngine"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "TimeoutAt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "StopEngine",
+]
 
 _PENDING = object()
 
@@ -168,6 +176,31 @@ class Timeout(Event):
             return False
         self._cancelled = True
         return True
+
+
+class TimeoutAt(Timeout):
+    """A timer that fires at an absolute simulated instant.
+
+    Used by the fluid fast-forward paths, which compute completion
+    times analytically: scheduling the deadline directly (instead of
+    converting to a relative delay) keeps the fire time bit-identical
+    to the discrete event chain it replaces, because
+    ``now + (when - now)`` is generally not ``when`` in floating point.
+    Inherits :meth:`Timeout.cancel`.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", when: float, value: Any = None) -> None:
+        if when < engine.now:
+            raise ValueError(
+                f"timeout_at in the past: {when!r} < now={engine.now!r}"
+            )
+        Event.__init__(self, engine)
+        self.delay = when - engine.now
+        self._ok = True
+        self._value = value
+        engine._push_timer_at(self, when)
 
 
 class Condition(Event):

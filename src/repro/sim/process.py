@@ -43,6 +43,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume on the next engine step at the current time.
+        # Deliberately NOT run synchronously under fluid mode: the body
+        # must observe whatever the spawner does *after* the spawn call
+        # (the broker mutates shared state post-spawn), so eager start
+        # is the one fast-forward that would change semantics.
         start = Event(engine)
         start._ok = True
         start._value = None

@@ -3,6 +3,14 @@
 All waiters are served strictly first-come-first-served, which keeps
 simulations deterministic and models the FIFO hardware queues (NIC work
 queues, link serialisation, socket buffers) used throughout the library.
+
+Under ``Engine(use_fluid=True)`` an operation that can be satisfied
+immediately (a free resource slot, a non-empty store, sufficient
+container level) returns an *already-processed* event instead of queuing
+a grant on the engine: the state change happens at the same simulated
+instant either way, and a process yielding a processed event continues
+synchronously, so results are identical while the kernel dispatches far
+fewer events.  Operations that must wait always queue real events.
 """
 
 from __future__ import annotations
@@ -28,6 +36,19 @@ class _AmountEvent(Event):
     """A queued container operation carrying its quantity."""
 
     __slots__ = ("amount",)
+
+
+def _granted(event: Event, value: Any = None) -> Event:
+    """Mark ``event`` as succeeded *and* processed without queueing it.
+
+    The fluid sync-grant: ``Process._resume`` continues synchronously on
+    a processed event, and :class:`~repro.sim.events.Condition` handles
+    processed children, so nothing downstream needs a queue round trip.
+    """
+    event._ok = True
+    event._value = value
+    event.callbacks = None
+    return event
 
 
 class Store:
@@ -91,12 +112,27 @@ class Store:
         """Queue ``item``; the returned event fires when the item is stored."""
         event = _PutEvent(self.engine)
         event.item = item
+        if (
+            self.engine.use_fluid
+            and not self._putters
+            and len(self.items) < self.capacity
+        ):
+            self.items.append(item)
+            self._dispatch()
+            return _granted(event)
         self._putters.append(event)
         self._dispatch()
         return event
 
     def get(self) -> Event:
         """Request one item; the returned event's value is the item."""
+        if self.engine.use_fluid and not self._getters:
+            self._admit_putters()
+            if self.items:
+                event = Event(self.engine)
+                item = self.items.popleft()
+                self._admit_putters()
+                return _granted(event, item)
         event = Event(self.engine)
         self._getters.append(event)
         self._dispatch()
@@ -161,10 +197,24 @@ class Resource:
         event = Event(self.engine)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
+            if self.engine.use_fluid:
+                return _granted(event)
             event.succeed()
         else:
             self._waiters.append(event)
         return event
+
+    def try_acquire(self) -> bool:
+        """Take a free slot without creating an event, or return False.
+
+        The fluid fast paths use this to test-and-hold a slot they will
+        release from a timer callback; pair every ``True`` with a
+        :meth:`release`.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
 
     def release(self) -> None:
         """Release one held slot, admitting the next waiter if any."""
@@ -206,6 +256,11 @@ class Container:
         """Current stored quantity."""
         return self._level
 
+    @property
+    def idle(self) -> bool:
+        """True when no putter or getter is parked on the container."""
+        return not self._putters and not self._getters
+
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
@@ -213,6 +268,14 @@ class Container:
             raise ValueError("amount exceeds container capacity")
         event = _AmountEvent(self.engine)
         event.amount = amount
+        if (
+            self.engine.use_fluid
+            and not self._putters
+            and self._level + amount <= self.capacity + self.EPSILON
+        ):
+            self._level = min(self._level + amount, self.capacity)
+            self._dispatch()
+            return _granted(event)
         self._putters.append(event)
         self._dispatch()
         return event
@@ -222,6 +285,15 @@ class Container:
             raise ValueError("amount must be non-negative")
         event = _AmountEvent(self.engine)
         event.amount = amount
+        if (
+            self.engine.use_fluid
+            and not self._getters
+            and not self._putters
+            and self._level + self.EPSILON >= amount
+        ):
+            self._level = max(self._level - amount, 0.0)
+            self._dispatch()
+            return _granted(event, amount)
         self._getters.append(event)
         self._dispatch()
         return event

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, List, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 from repro.verbs.wr import WorkCompletion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,6 +61,30 @@ class CompletionQueue:
         """
         profile = self.device.arch_profile
 
+        if self.engine.use_fluid:
+            # Fluid fast path: reap now (the discrete process does too —
+            # its body runs at construction), and carry the batch as the
+            # value of the CPU-chunk timer itself instead of wrapping
+            # the poll in a process.  Falls back to a bridge process
+            # when the core is contended (exec returned a process).
+            batch: List[WorkCompletion] = []
+            while self._entries and len(batch) < max_entries:
+                batch.append(self._entries.popleft())
+            if batch:
+                cost = len(batch) * profile.poll_cqe_seconds
+            else:
+                cost = profile.poll_empty_seconds
+            ev = thread.exec(cost)
+            if isinstance(ev, Timeout):
+                ev._value = batch
+                return ev
+
+            def _bridge() -> Generator:
+                yield ev
+                return batch
+
+            return self.engine.process(_bridge())
+
         def _poll() -> Generator:
             batch: List[WorkCompletion] = []
             while self._entries and len(batch) < max_entries:
@@ -106,6 +130,19 @@ class CompletionChannel:
         pending — matching the ack-and-rearm dance of the real API.
         """
         profile = self.cq.device.arch_profile
+
+        if self.engine.use_fluid and len(self.cq):
+            # Completions already pending: the wakeup charge is the only
+            # work left, so return the CPU-chunk timer directly.
+            interrupt = self.cq.device.host.spec.interrupt_seconds
+            ev = thread.exec(interrupt + profile.cq_event_seconds)
+            if isinstance(ev, Timeout):
+                return ev
+
+            def _bridge() -> Generator:
+                yield ev
+
+            return self.engine.process(_bridge())
 
         def _wait() -> Generator:
             if not len(self.cq):

@@ -161,6 +161,34 @@ def test_case_filter_limits_the_gate_to_named_cases():
         compare_bench(base, cur, cases=["nope"])
 
 
+def test_zero_baseline_latency_rise_is_gated_not_masked():
+    # A better-lower metric springing from 0 has no finite ratio, but it
+    # is a real regression — the old ``ratio is None -> pass`` masked it.
+    base, cur = _doc(), _doc()
+    base["results"]["case_a"]["p99_us"] = 0.0
+    cmp = compare_bench(base, cur)
+    assert not cmp.ok
+    regressed = [(d.case, d.metric) for d in cmp.regressions]
+    assert ("case_a", "p99_us") in regressed
+    delta = next(d for d in cmp.deltas if d.metric == "p99_us"
+                 and d.case == "case_a")
+    assert delta.ratio is None
+    assert "from zero" in delta.describe()
+
+
+def test_zero_baseline_gbps_rise_is_an_improvement():
+    base, cur = _doc(), _doc()
+    base["results"]["case_a"]["gbps"] = 0.0
+    assert compare_bench(base, cur).ok
+
+
+def test_zero_baseline_zero_current_is_no_change():
+    base, cur = _doc(), _doc()
+    base["results"]["case_a"]["p99_us"] = 0.0
+    cur["results"]["case_a"]["p99_us"] = 0.0
+    assert compare_bench(base, cur).ok
+
+
 def test_none_metrics_are_skipped_not_regressions():
     base, cur = _doc(), _doc()
     cur["results"]["case_a"]["p50_us"] = None  # lost the measurement

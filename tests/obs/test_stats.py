@@ -1,0 +1,37 @@
+"""Boundary behaviour of the numpy-free percentile helper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.stats import exact_percentile, mean
+
+
+def test_q0_is_the_minimum_and_q100_the_maximum():
+    values = [5.0, 1.0, 9.0, 3.0]
+    assert exact_percentile(values, 0) == 1.0
+    assert exact_percentile(values, 100) == 9.0
+
+
+def test_q100_with_single_element():
+    assert exact_percentile([7.5], 100) == 7.5
+    assert exact_percentile([7.5], 0) == 7.5
+    assert exact_percentile([7.5], 37.2) == 7.5
+
+
+def test_interior_percentile_interpolates_linearly():
+    assert exact_percentile([0.0, 10.0], 50) == 5.0
+    assert exact_percentile([0.0, 1.0, 2.0, 3.0], 25) == 0.75
+
+
+@pytest.mark.parametrize("q", [-0.001, -5, 100.001, 990, float("nan")])
+def test_out_of_range_q_raises(q):
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        exact_percentile([1.0, 2.0, 3.0], q)
+
+
+def test_empty_sequence_is_nan_not_an_error():
+    assert math.isnan(exact_percentile([], 50))
+    assert math.isnan(mean([]))

@@ -1,0 +1,122 @@
+"""Fluid fast-forward must be invisible in results — only in event counts.
+
+Every application workload is run twice, on a testbed built with
+``use_fluid=True`` (the default) and ``use_fluid=False``, and the
+simulated outcomes — goodput and final clock — must agree **exactly**
+(float equality, not approx): the fluid paths are constructed to
+evaluate the same float expressions the discrete event chains would.
+The payoff shows up as a strictly lower event count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbeds import TESTBEDS
+
+MiB = 1024 * 1024
+
+
+def _rftp(testbed_name, fluid):
+    from repro.apps.rftp import run_rftp
+
+    tb = TESTBEDS[testbed_name](use_fluid=fluid)
+    result = run_rftp(tb, total_bytes=16 * MiB)
+    return result.gbps, tb.engine.now, tb.engine.events_processed
+
+
+def _gridftp(testbed_name, fluid):
+    from repro.apps.gridftp import run_gridftp
+
+    tb = TESTBEDS[testbed_name](use_fluid=fluid)
+    result = run_gridftp(tb, total_bytes=16 * MiB, streams=4)
+    return result.gbps, tb.engine.now, tb.engine.events_processed
+
+
+def _fio(testbed_name, fluid):
+    from repro.apps.fio import FioJob, run_fio
+
+    tb = TESTBEDS[testbed_name](use_fluid=fluid)
+    job = FioJob(semantics="write", block_size=128 * 1024, iodepth=16,
+                 total_blocks=200)
+    result = run_fio(tb, job)
+    return result.gbps, tb.engine.now, tb.engine.events_processed
+
+
+@pytest.mark.parametrize(
+    "runner,testbed",
+    [
+        (_rftp, "roce-lan"),
+        (_rftp, "ani-wan"),
+        (_gridftp, "ani-wan"),
+        (_fio, "roce-lan"),
+    ],
+    ids=["rftp-roce", "rftp-wan", "gridftp-wan", "fio-roce"],
+)
+def test_fluid_matches_discrete_exactly(runner, testbed):
+    gbps_f, now_f, events_f = runner(testbed, True)
+    gbps_d, now_d, events_d = runner(testbed, False)
+    assert gbps_f == gbps_d
+    assert now_f == now_d
+    assert events_f < events_d
+
+
+def test_burst_workload_event_ratio_exceeds_three():
+    """The acceptance floor: ≥3× fewer kernel events on the steady-state
+    WAN bulk pipeline (the ``sim_fluid`` bench workload)."""
+    from repro.obs.bench import _run_fluid_pipeline
+
+    discrete = _run_fluid_pipeline(False, flows=4, blocks=24,
+                                   unit=1 << 16, packets=16)
+    fluid = _run_fluid_pipeline(True, flows=4, blocks=24,
+                                unit=1 << 16, packets=16)
+    assert fluid["sim_time"] == discrete["sim_time"]
+    assert discrete["events"] >= 3 * fluid["events"]
+
+
+def test_fault_armed_links_auto_pin_to_discrete():
+    """Arming flaps or spikes must flip every path link to discrete mode
+    (fluid flap handling is optimistic for in-flight reservations), and
+    the chaos run must still end clean and byte-exact."""
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    tb = TESTBEDS["ani-wan"]()
+    plan = FaultPlan(seed=3, latency_spike_rate=0.05,
+                     link_flaps=((0.2, 0.05),))
+    result = run_chaos(tb, total_bytes=8 * MiB, plan=plan)
+    links = list(tb.duplex.forward.links) + list(tb.duplex.backward.links)
+    assert all(link.use_fluid is False for link in links)
+    assert result.completed and result.clean and result.byte_exact
+    assert result.flaps_fired == 1
+
+
+def test_clean_chaos_leaves_links_fluid():
+    """A plan with no link-level faults must not pin anything."""
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    tb = TESTBEDS["ani-wan"]()
+    plan = FaultPlan(seed=5, write_fault_rate=0.02)
+    result = run_chaos(tb, total_bytes=8 * MiB, plan=plan)
+    links = list(tb.duplex.forward.links) + list(tb.duplex.backward.links)
+    assert all(link.use_fluid is None for link in links)
+    assert result.completed and result.clean
+
+
+def test_chaos_with_link_faults_matches_discrete_engine():
+    """With armed links pinned, a fluid-engine chaos run must land on the
+    same clock as a fully discrete one."""
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    outcomes = {}
+    for fluid in (True, False):
+        tb = TESTBEDS["ani-wan"](use_fluid=fluid)
+        plan = FaultPlan(seed=3, latency_spike_rate=0.05,
+                         link_flaps=((0.2, 0.05),))
+        result = run_chaos(tb, total_bytes=8 * MiB, plan=plan)
+        assert result.completed and result.clean
+        outcomes[fluid] = (result.sim_time, result.latency_spikes,
+                          result.flaps_fired)
+    assert outcomes[True] == outcomes[False]
