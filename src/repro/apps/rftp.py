@@ -143,6 +143,7 @@ class RftpClient:
         fault_injector: Any = None,
         journal: Any = None,
         seed: int = 0,
+        overload: Any = None,
     ):
         """Process event resolving to an opened
         :class:`~repro.sched.broker.TransferBroker` — the job-level API.
@@ -177,7 +178,7 @@ class RftpClient:
                 yield door.open()
             return TransferBroker(
                 mw.engine, door_objs, broker_config, tenants,
-                journal=journal, seed=seed,
+                journal=journal, seed=seed, overload=overload,
             )
 
         return mw.engine.process(_open())

@@ -17,6 +17,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -306,15 +307,38 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     from repro.analysis.report import Table
     from repro.sched import (
         load_spec,
+        overload_spec,
         run_sched,
         summarize,
         synthetic_spec,
         write_report,
     )
 
+    overload_overrides = None
+    if args.overload is not None:
+        overload_overrides = json.loads(args.overload)
+        if not isinstance(overload_overrides, dict):
+            print("error: --overload must be a JSON object", file=sys.stderr)
+            return 2
+
     spec = None
     if args.spec:
         spec = load_spec(args.spec)
+        if overload_overrides is not None:
+            spec["overload"] = {
+                **(spec.get("overload") or {}), **overload_overrides,
+            }
+    elif args.spike is not None:
+        spec = overload_spec(
+            seed=args.seed,
+            total_files=args.files if args.files is not None else 600,
+            tenants=_parse_tenants(args.tenants),
+            testbed=args.testbed,
+            doors=args.doors,
+            max_active=args.max_active,
+            spike=args.spike,
+            overload=overload_overrides,
+        )
     elif args.quick or args.files is not None:
         files = args.files if args.files is not None else 1000
         spec = synthetic_spec(
@@ -325,8 +349,10 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             doors=args.doors,
             max_active=args.max_active,
         )
+        if overload_overrides is not None:
+            spec["overload"] = overload_overrides
     if spec is None and args.recover is None:
-        print("error: need --spec, --quick, --files, or --recover",
+        print("error: need --spec, --quick, --files, --spike, or --recover",
               file=sys.stderr)
         return 2
     if spec is not None:
@@ -334,11 +360,19 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             spec["watchdog"] = True
         if args.drain_at is not None:
             spec["drain_at"] = args.drain_at
+        if args.resubmit is not None:
+            spec["resubmit_limit"] = args.resubmit
         if args.crash_at:
             faults = dict(spec.get("faults") or {})
             faults["broker_crashes"] = sorted(
                 list(faults.get("broker_crashes", ())) + args.crash_at
             )
+            spec["faults"] = faults
+        if args.attempt_fault_rate is not None:
+            faults = dict(spec.get("faults") or {})
+            faults["attempt_fault_rate"] = args.attempt_fault_rate
+            if args.attempt_fault_window is not None:
+                faults["attempt_fault_window"] = args.attempt_fault_window
             spec["faults"] = faults
     result = run_sched(
         spec,
@@ -353,16 +387,36 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     table = Table(
         f"Scheduler run — {result.header['testbed']}, seed {result.header['seed']}",
         ["tenant", "jobs", "files", "finished", "failed", "canceled",
-         "retries", "goodput Gbps"],
+         "shed", "retries", "goodput Gbps"],
     )
     for tenant, t in summary["tenants"].items():
         table.add_row(
             tenant, str(t["jobs"]), str(t["files"]), str(t["finished"]),
-            str(t["failed"]), str(t["canceled"]), str(t["retries"]),
-            f"{t['goodput_gbps']:.3f}",
+            str(t["failed"]), str(t["canceled"]), str(t["shed_jobs"]),
+            str(t["retries"]), f"{t['goodput_gbps']:.3f}",
         )
     table.print()
     print(f"sim time {summary['sim_time']:.3f}s  events {summary['events']}")
+    if result.shed_jobs:
+        hints = [j.retry_after for j in result.jobs
+                 if j.shed and j.retry_after is not None]
+        print(
+            f"shed: {result.shed_jobs} job(s) / {result.shed_files} file(s) "
+            f"load-shed with RETRY_AFTER hints "
+            f"{min(hints):.2f}-{max(hints):.2f}s" if hints else
+            f"shed: {result.shed_jobs} job(s) / {result.shed_files} file(s)"
+        )
+    # Leaks are only meaningful when every job went terminal: a run cut
+    # off by --horizon (or drained mid-flight) legitimately still holds
+    # broker/sink state, and the "did not finish" error below owns it.
+    leaks = result.leaks if result.all_resolved else []
+    if leaks:
+        for leak in leaks[:20]:
+            print(f"leak: {leak}", file=sys.stderr)
+        print(
+            f"error: {len(leaks)} quiescence leak(s) after the run",
+            file=sys.stderr,
+        )
     if result.recoveries or result.header.get("recovered"):
         resumed = sum(
             1 for j in result.jobs for t in j.files if t.resumed_from > 0
@@ -393,8 +447,13 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         print(f"wrote {args.report}")
     if result.audit_ok is False:
         return 1
-    if not result.all_finished:
-        bad = sum(1 for j in result.jobs if j.state.value != "FINISHED")
+    if leaks:
+        return 1
+    if not result.all_resolved:
+        # Shed jobs are *resolved*: rejected cooperatively, reported
+        # with a RETRY_AFTER hint.  Only unfinished non-shed jobs fail
+        # the run.
+        bad = len(result.unresolved)
         if result.drained:
             print(
                 f"drained: {bad} job(s) left for a later --recover "
@@ -622,6 +681,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify byte-exact delivery per finished file "
                         "(pattern source + collecting sink; exits 1 on any "
                         "lost file, divergent duplicate, or corrupt block)")
+    p.add_argument("--spike", type=float, default=None, metavar="FACTOR",
+                   help="synthetic OVERLOAD mix instead of --quick's: "
+                        "open-loop arrivals spike to FACTOR× the base rate "
+                        "with backpressure/shedding armed (see "
+                        "repro.sched.spec.overload_spec)")
+    p.add_argument("--overload", metavar="JSON", default=None,
+                   help="overload-control overrides for --spike (JSON "
+                        "object of repro.sched.overload.OverloadConfig "
+                        "keys), or a full config to arm on a --spec run")
+    p.add_argument("--resubmit", type=int, default=None, metavar="N",
+                   help="times the client resubmits a shed job after its "
+                        "RETRY_AFTER hint (default: spec's resubmit_limit)")
+    p.add_argument("--attempt-fault-rate", type=float, default=None,
+                   metavar="P",
+                   help="retry-storm chaos: probability each broker attempt "
+                        "fails at the attempt boundary (burns retry budget, "
+                        "moves no bytes)")
+    p.add_argument("--attempt-fault-window", type=float, nargs=2,
+                   default=None, metavar=("START", "END"),
+                   help="sim-time window outside which --attempt-fault-rate "
+                        "is dormant")
     _add_export_args(p)
     p.set_defaults(func=_cmd_sched)
 

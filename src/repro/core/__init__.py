@@ -40,6 +40,7 @@ from repro.core.health import (
     HealthMonitor,
     RttEstimator,
 )
+from repro.core.jitter import jitter_fraction, jittered
 from repro.core.messages import (
     BlockHeader,
     ControlMessage,
@@ -89,4 +90,6 @@ __all__ = [
     "TransferJob",
     "TransferOutcome",
     "block_checksum",
+    "jitter_fraction",
+    "jittered",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "TransportFallbackFailed",
     "StuckTransfer",
     "TransferCanceled",
+    "InjectedAttemptFault",
 ]
 
 
@@ -97,3 +98,9 @@ class StuckTransfer(TransferError):
 class TransferCanceled(TransferError):
     """The broker canceled the session deliberately (job cancel or a
     per-job deadline expiring) while the transfer was still in flight."""
+
+
+class InjectedAttemptFault(TransferError):
+    """A chaos-injected failure at the broker's attempt boundary: the
+    attempt dies before any transfer traffic (the retry-storm seam —
+    cheap, instant failures are what make retry storms metastable)."""

@@ -60,6 +60,20 @@ class BlockPool(Generic[BlockT]):
     def free_count(self) -> int:
         return len(self.free)
 
+    @property
+    def occupancy(self) -> float:
+        """Fraction of pinned blocks currently in use, in [0, 1].
+
+        The scheduler's brownout watermark seam: pinned-memory pressure
+        is the RDMAvisor-style per-session cost that grows with
+        concurrent sessions, so the broker watches this instead of a
+        proxy like queue depth.
+        """
+        total = len(self.blocks)
+        if total == 0:
+            return 0.0
+        return 1.0 - len(self.free) / total
+
     def get_free_blk(self):
         """Event resolving to a free block (FIFO wait if none)."""
         return self.free.get()

@@ -287,6 +287,17 @@ class SourceLink:
 
     # -- backwards-compat stat views ------------------------------------------
     @property
+    def session_load(self) -> int:
+        """Live transfer sessions multiplexed on this link right now.
+
+        The scheduler's session-concurrency watermark seam: each session
+        holds QP/credit/pinned-pool state, so this is what brownout
+        watches (alongside :attr:`BlockPool.occupancy`) when deciding to
+        shrink per-door concurrency.
+        """
+        return len(self.jobs)
+
+    @property
     def mr_requests_sent(self) -> int:
         return int(self._m_mr_requests.total)
 

@@ -43,6 +43,7 @@ class FaultInjector:
         self._link_rng = streams.stream("link")
         self._corrupt_rng = streams.stream("corrupt")
         self._hb_rng = streams.stream("hb")
+        self._sched_rng = streams.stream("sched")
         self.write_faults = 0
         self.ctrl_drops = 0
         self.ctrl_delays = 0
@@ -55,6 +56,7 @@ class FaultInjector:
         self.qp_kills_fired = 0
         self.heartbeat_drops = 0
         self.fallback_denials = 0
+        self.attempt_faults = 0
 
     # -- verbs.qp seam ---------------------------------------------------------------
     def data_qp_hook(self, wr: "SendWR") -> bool:
@@ -184,6 +186,35 @@ class FaultInjector:
                 supervisor.crash()
 
             engine.process(_crash())
+
+    def attempt_hook(self, now: float) -> bool:
+        """``TransferBroker.attempt_fault_hook`` interface: True fails the
+        attempt at the boundary (before any traffic) — the retry-storm
+        seam that exercises retry budgets without touching the wire."""
+        if self.plan.attempt_fault_rate <= 0.0:
+            return False
+        window = self.plan.attempt_fault_window
+        if window:
+            start, end = window
+            if not start <= now < end:
+                return False
+        if self._sched_rng.random() < self.plan.attempt_fault_rate:
+            self.attempt_faults += 1
+            return True
+        return False
+
+    def arm_scheduler(self, supervisor_or_broker: Any) -> None:
+        """Install the attempt-fault hook on a broker — or on a
+        :class:`~repro.sched.runner.BrokerSupervisor`, which re-installs
+        it on every recovered incarnation (a retry storm should not stop
+        just because its victim crashed)."""
+        if self.plan.attempt_fault_rate <= 0.0:
+            return
+        target = supervisor_or_broker
+        target.attempt_fault_hook = self.attempt_hook
+        broker = getattr(target, "broker", None)
+        if broker is not None:
+            broker.attempt_fault_hook = self.attempt_hook
 
     def _fallback_deny_hook(self) -> bool:
         """``SinkEngine.fallback_deny_hook`` interface."""

@@ -88,6 +88,16 @@ class FaultPlan:
     #: loses all data channels aborts with TransportFallbackFailed
     #: instead of degrading to TCP.
     fallback_deny: bool = False
+    #: Probability a broker transfer attempt fails at the attempt
+    #: boundary (before any traffic moves) with
+    #: :class:`~repro.core.errors.InjectedAttemptFault` — the retry-storm
+    #: seam: every injected failure burns a retry-budget token, so a high
+    #: rate drives tenants into budget exhaustion instead of letting
+    #: retries amplify the overload.
+    attempt_fault_rate: float = 0.0
+    #: Optional ``(start_s, end_s)`` window outside which
+    #: :attr:`attempt_fault_rate` is dormant; empty means always armed.
+    attempt_fault_window: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -97,6 +107,7 @@ class FaultPlan:
             "latency_spike_rate",
             "payload_corrupt_rate",
             "heartbeat_drop_rate",
+            "attempt_fault_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -119,6 +130,16 @@ class FaultPlan:
             when, index = kill
             if when < 0 or index < 0 or index != int(index):
                 raise ValueError(f"bad qp kill {kill!r}")
+        if self.attempt_fault_window:
+            if len(self.attempt_fault_window) != 2:
+                raise ValueError(
+                    "attempt_fault_window is a (start, end) pair"
+                )
+            start, end = self.attempt_fault_window
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"bad attempt_fault_window {self.attempt_fault_window!r}"
+                )
 
     @property
     def any_faults(self) -> bool:
@@ -135,4 +156,5 @@ class FaultPlan:
             or self.qp_kills
             or self.heartbeat_drop_rate
             or self.fallback_deny
+            or self.attempt_fault_rate
         )

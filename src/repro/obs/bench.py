@@ -195,6 +195,78 @@ def _run_sched_case(total_files: int) -> dict:
     }
 
 
+#: Un-overloaded per-file service rate the overload case holds admitted
+#: goodput against: the ``sched_10k`` quick case moves 1500 files in
+#: ~31s of sim time (≈48 files/s).  Kept as a constant rather than
+#: re-running that case inside this one — the bench gate on
+#: ``sched_10k`` itself pins the reference.
+_SCHED_QUICK_FILES_PER_SEC = 48.4
+
+
+def _run_sched_overload_case(total_files: int) -> dict:
+    """Open-loop 10× arrival spike against the armed overload controls.
+
+    The broker must shed its way through the spike — every shed job
+    reported with a reason and a RETRY_AFTER hint, zero lost or
+    duplicate bytes for admitted work, no state leaked after the
+    shed-heavy campaign — while goodput for the work it *did* admit
+    stays within 80% of the un-overloaded service rate.  Guards the
+    overload layer against both kinds of regression: collapsing under
+    the spike, and shedding so eagerly the pipe idles.
+    """
+    from repro.obs.registry import HistogramMetric
+    from repro.sched import overload_spec, run_sched
+
+    spec = overload_spec(seed=0, total_files=total_files)
+    result = run_sched(spec, audit=True)
+    if not result.all_resolved:
+        raise RuntimeError(
+            f"{len(result.unresolved)} jobs neither finished nor shed"
+        )
+    if result.audit_ok is False:
+        raise RuntimeError(
+            f"delivery audit failed: {result.audit_problems[:3]}"
+        )
+    if result.leaks:
+        raise RuntimeError(f"post-run leaks: {result.leaks[:3]}")
+    if not result.shed_jobs:
+        raise RuntimeError("overload case shed nothing — spike too small")
+    for job in result.jobs:
+        if job.shed and (not job.shed_reason or job.retry_after is None):
+            raise RuntimeError(
+                f"shed job {job.job_id} missing reason/RETRY_AFTER"
+            )
+    engine = result.testbed.engine
+    finished = [
+        task for job in result.jobs for task in job.files
+        if task.state.value == "FINISHED"
+    ]
+    total_bytes = sum(task.size for task in finished)
+    gbps = None
+    if engine.now > 0:
+        gbps = total_bytes * 8 / engine.now / 1e9
+        admitted_rate = len(finished) / engine.now
+        if admitted_rate < 0.8 * _SCHED_QUICK_FILES_PER_SEC:
+            raise RuntimeError(
+                f"admitted goodput {admitted_rate:.1f} files/s below 80% "
+                f"of the un-overloaded rate "
+                f"({_SCHED_QUICK_FILES_PER_SEC} files/s)"
+            )
+    merged = HistogramMetric.merged(
+        engine.metrics.family("sched.file_latency_seconds")
+    )
+    p50 = p99 = None
+    if merged.count:
+        p50, p99 = merged.percentile(50) * 1e6, merged.percentile(99) * 1e6
+    return {
+        "gbps": gbps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "sim_time": engine.now,
+        "events": engine.events_processed,
+    }
+
+
 def _run_sim_kernel_case(workers: int, rounds: int) -> dict:
     """Pure timer/event churn — no protocol, no hardware models.
 
@@ -397,6 +469,13 @@ BENCH_CASES: Sequence[BenchCase] = (
         {
             "quick": lambda: _run_sched_case(total_files=1500),
             "full": lambda: _run_sched_case(total_files=10_000),
+        },
+    ),
+    BenchCase(
+        "sched_overload",
+        {
+            "quick": lambda: _run_sched_overload_case(total_files=600),
+            "full": lambda: _run_sched_overload_case(total_files=2400),
         },
     ),
     BenchCase(

@@ -12,6 +12,8 @@ write-ahead log with nothing lost and nothing transferred twice.
 - :mod:`repro.sched.jobs` — the FTS-mirroring job/file state model
 - :mod:`repro.sched.broker` — the scheduler itself (+ doors)
 - :mod:`repro.sched.journal` — the replayable write-ahead journal
+- :mod:`repro.sched.overload` — backpressure, load shedding, retry
+  budgets, and brownout degradation under fleet-scale overload
 - :mod:`repro.sched.spec` — job-mix spec format and synthetic generator
 - :mod:`repro.sched.report` — deterministic JSONL job reports
 - :mod:`repro.sched.runner` — one-call spec → testbed → result harness
@@ -26,7 +28,14 @@ from repro.sched.broker import (
     TransferBroker,
 )
 from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
-from repro.sched.journal import Journal, RecoveredState, replay
+from repro.sched.journal import (
+    Journal,
+    RecoveredState,
+    replay,
+    restore_jobs,
+    snapshot_jobs,
+)
+from repro.sched.overload import OverloadConfig, OverloadController
 from repro.sched.report import (
     report_lines,
     stable_report_lines,
@@ -37,9 +46,15 @@ from repro.sched.runner import (
     BrokerSupervisor,
     SchedResult,
     audit_delivery,
+    quiescence_leaks,
     run_sched,
 )
-from repro.sched.spec import load_spec, synthetic_spec, validate_spec
+from repro.sched.spec import (
+    load_spec,
+    overload_spec,
+    synthetic_spec,
+    validate_spec,
+)
 
 __all__ = [
     "BrokerConfig",
@@ -49,6 +64,8 @@ __all__ = [
     "Job",
     "JobState",
     "Journal",
+    "OverloadConfig",
+    "OverloadController",
     "RecoveredState",
     "RftpDoor",
     "SchedResult",
@@ -58,9 +75,13 @@ __all__ = [
     "TransferSpec",
     "audit_delivery",
     "load_spec",
+    "overload_spec",
+    "quiescence_leaks",
     "replay",
     "report_lines",
+    "restore_jobs",
     "run_sched",
+    "snapshot_jobs",
     "stable_report_lines",
     "summarize",
     "synthetic_spec",

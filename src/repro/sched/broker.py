@@ -44,17 +44,27 @@ alternative destinations.  The pieces:
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import StuckTransfer, TransferCanceled, TransferError
+from repro.core.errors import (
+    InjectedAttemptFault,
+    StuckTransfer,
+    TransferCanceled,
+    TransferError,
+)
 from repro.core.health import BreakerState, ChannelBreaker
+from repro.core.jitter import jitter_fraction, jittered
 from repro.core.middleware import allocate_session_id
 from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
 from repro.sched.journal import Journal, replay
+from repro.sched.overload import (
+    RECOVERING,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.sim.events import Event
 
 __all__ = [
@@ -121,6 +131,11 @@ class SchedulerConfig:
     watchdog_rto_multiplier: float = 16.0
     #: Floor for the watchdog poll interval, seconds.
     watchdog_min_interval: float = 0.25
+    #: Compact the journal at each drain checkpoint: the replayed prefix
+    #: is truncated behind a full state snapshot, bounding the in-memory
+    #: record list on long-lived brokers.  Off by default — tests that
+    #: inspect the raw record history expect the full log.
+    checkpoint_compact: bool = False
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
@@ -151,18 +166,10 @@ BrokerConfig = SchedulerConfig
 
 def _retry_jitter_fraction(seed: int, job_id: str, path: str,
                            attempt: int) -> float:
-    """Deterministic per-task jitter in [0, 1).
-
-    Derived from (run seed, job, path, attempt) with BLAKE2b — the same
-    scheme as :class:`~repro.sim.rng.RandomStreams` — so it is
-    independent of dispatch order and survives crash recovery: the same
-    retry backs off by the same amount in the original and the recovered
-    run.
-    """
-    digest = hashlib.blake2b(
-        f"{seed}|{job_id}|{path}|{attempt}".encode(), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little") / 2.0 ** 64
+    """Deterministic per-task jitter in [0, 1) — a thin view over the
+    shared :func:`repro.core.jitter.jitter_fraction` (same digest key,
+    bit-identical schedules), kept under the PR 7 name for callers."""
+    return jitter_fraction(seed, job_id, path, attempt)
 
 
 class RftpDoor:
@@ -234,12 +241,28 @@ class RftpDoor:
             for b in breakers
         )
 
-    def admissible(self, now: float) -> bool:
-        if self.link is None or self.active >= self.max_sessions:
+    def admissible(self, now: float, session_cap: Optional[int] = None) -> bool:
+        cap = self.max_sessions if session_cap is None else session_cap
+        if self.link is None or self.active >= cap:
             return False
         if self.breaker is not None and not self.breaker.peek_admit(now):
             return False
         return not self.channels_quarantined(now)
+
+    @property
+    def pool_occupancy(self) -> float:
+        """Pinned-pool pressure on this door's link, in [0, 1] — one of
+        the two brownout watermark inputs."""
+        if self.link is None:
+            return 0.0
+        return self.link.pool.occupancy
+
+    @property
+    def session_load(self) -> int:
+        """Live middleware sessions on this door's link."""
+        if self.link is None:
+            return 0
+        return self.link.session_load
 
     def transfer(self, task: FileTask, session_id: Optional[int] = None):
         """Process event for one file transfer through this door."""
@@ -302,6 +325,7 @@ class TransferBroker:
         tenants: Optional[Dict[str, TenantPolicy]] = None,
         journal: Optional[Journal] = None,
         seed: int = 0,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if not doors:
             raise ValueError("broker needs at least one door")
@@ -312,6 +336,17 @@ class TransferBroker:
         self.config = config or SchedulerConfig()
         self.journal = journal if journal is not None else Journal()
         self.seed = int(seed)
+        self.overload_config = overload
+        #: Built only when a mechanism is armed: an idle broker runs the
+        #: exact PR 7 code paths (bit-identical anchors).
+        self.overload: Optional[OverloadController] = (
+            OverloadController(engine, overload, seed=seed)
+            if overload is not None and overload.enabled else None
+        )
+        #: Retry-storm injection seam: a hook returning True fails the
+        #: next attempt before any transfer traffic (see
+        #: :meth:`repro.faults.FaultInjector.arm_scheduler`).
+        self.attempt_fault_hook: Optional[Callable[[float], bool]] = None
         self.doors: Dict[str, RftpDoor] = {d.name: d for d in doors}
         for door in doors:
             door.breaker = ChannelBreaker(
@@ -323,6 +358,9 @@ class TransferBroker:
         for name, policy in (tenants or {}).items():
             self._tenants[name] = _TenantState(policy=policy)
         self.jobs: List[Job] = []
+        #: job_id -> Job, for resubmission dedupe: a submit reusing a
+        #: live (or journaled) id returns the existing incarnation.
+        self._jobs_by_id: Dict[str, Job] = {}
         self.recovered = False
         self._fifo = itertools.count()
         self._job_ids = itertools.count(1)
@@ -338,6 +376,8 @@ class TransferBroker:
         self._draining = False
         self._drain_wake: Optional[Event] = None
         self._recovering = False
+        #: A brownout-recheck timer is in flight (hysteresis dwell).
+        self._recheck_pending = False
         #: Task -> (backoff timer, tenant state) while parked, so a
         #: cancel can unpark immediately instead of leaking the file in
         #: the timer until it fires.
@@ -416,12 +456,23 @@ class TransferBroker:
             raise ValueError("deadline must be positive")
         if job_id is None:
             job_id = f"job-{next(self._job_ids)}"
+        existing = self._jobs_by_id.get(job_id)
+        if existing is not None:
+            # Resubmission dedupe: the id already has an incarnation in
+            # this broker (live, or replayed out of the journal after a
+            # crash) — return it instead of creating a twin, so a client
+            # retrying across a recovery boundary cannot double-submit.
+            self.engine.trace(
+                "sched", "job_resubmit_dedup", job=job_id, tenant=tenant
+            )
+            return existing
         job = Job.build(job_id, tenant, files, priority)
         now = self.engine.now
         job.submitted_at = now
         job.deadline = deadline
         job.done = Event(self.engine)
         self.jobs.append(job)
+        self._jobs_by_id[job_id] = job
         self._m_jobs_submitted.add()
         metrics = self._metrics(tenant)
         state = self._tenant(tenant)
@@ -442,6 +493,16 @@ class TransferBroker:
             return self._reject_job(
                 job, metrics, "broker draining: admissions closed"
             )
+        if self.overload is not None:
+            decision = self.overload.admit(
+                job_id, tenant,
+                n_primaries=len(primaries),
+                n_duplicates=len(job.files) - len(primaries),
+                total_backlog=self._total_backlog(),
+                priority=priority, deadline=deadline,
+            )
+            if decision is not None:
+                return self._shed_job(job, metrics, decision)
         if backlog + len(primaries) > state.policy.max_queued:
             # Admission control: reject the submission whole rather than
             # accept a prefix the tenant cannot distinguish.
@@ -475,6 +536,41 @@ class TransferBroker:
             files=len(job.files), priority=job.priority,
         )
         self._kick()
+        return job
+
+    def _total_backlog(self) -> int:
+        """Queued + parked primary files across every tenant (the
+        global bound the overload queue cap applies to)."""
+        return sum(s.queued + s.parked for s in self._tenants.values())
+
+    def _shed_job(self, job: Job, metrics: dict, decision: Any) -> Job:
+        """Load-shed a submission whole: journaled as a ``shed`` record
+        carrying the reason and the RETRY_AFTER hint, files CANCELED,
+        and the job marked ``shed`` so the runner can cooperatively
+        resubmit after the hint instead of retrying blind."""
+        now = self.engine.now
+        self.overload.note_shed(job.tenant, len(job.files))
+        metrics["files_canceled"].add(len(job.files))
+        self._journal_rec(
+            "shed", t=now, job_id=job.job_id, reason=decision.reason,
+            retry_after=decision.retry_after,
+        )
+        job.state = JobState.CANCELED
+        job.shed = True
+        job.shed_reason = decision.reason
+        job.retry_after = decision.retry_after
+        for task in job.files:
+            task.state = FileState.CANCELED
+            task.submitted_at = now
+            task.finished_at = now
+            task.error = f"shed: {decision.reason}"
+        job.finished_at = now
+        job.done.succeed(job)
+        self.engine.trace(
+            "sched", "job_shed", job=job.job_id, tenant=job.tenant,
+            files=len(job.files), reason=decision.reason,
+            retry_after=round(decision.retry_after, 6),
+        )
         return job
 
     def _reject_job(self, job: Job, metrics: dict, reason: str) -> Job:
@@ -571,9 +667,14 @@ class TransferBroker:
         """The stride pick: lowest pass among tenants with queued work
         and spare in-flight capacity (name breaks ties, deterministic)."""
         best: Optional[str] = None
+        ctrl = self.overload
         for name in sorted(self._tenants):
             state = self._tenants[name]
             if not state.queue or state.inflight >= state.policy.max_inflight:
+                continue
+            if ctrl is not None and ctrl.tenant_parked(name):
+                # Brownout: lowest-weight tenants sit out dispatch; their
+                # queued work holds (and re-enters) rather than cancels.
                 continue
             if best is None or state.pass_value < self._tenants[best].pass_value:
                 best = name
@@ -584,15 +685,61 @@ class TransferBroker:
         ``orderly`` from the failure cursor."""
         names = task.spec.sources or tuple(self.doors)
         now = self.engine.now
+        ctrl = self.overload
         n = len(names)
         for i in range(n):
             name = names[(task.alt_cursor + i) % n]
             door = self.doors.get(name)
-            if door is not None and door.admissible(now):
+            if door is None:
+                continue
+            cap = (
+                ctrl.door_session_cap(door.max_sessions)
+                if ctrl is not None else None
+            )
+            # Only pass the brownout cap when one is in force: doors are
+            # duck-typed (tests stub them) and the base signature works
+            # everywhere.
+            admissible = (
+                door.admissible(now) if cap is None
+                else door.admissible(now, session_cap=cap)
+            )
+            if admissible:
                 if i:
                     task.alt_cursor = (task.alt_cursor + i) % n
                 return door
         return None
+
+    # -- brownout sampling -------------------------------------------------------
+    def _observe_overload(self) -> None:
+        """Feed the brownout FSM one load sample (event-driven: called
+        at dispatch and completion points, never from its own timer
+        except the hysteresis recheck below)."""
+        ctrl = self.overload
+        if ctrl is None or not ctrl.config.brownout_enabled:
+            return
+        occupancy = max(
+            (d.pool_occupancy for d in self.doors.values()), default=0.0
+        )
+        ctrl.observe(
+            self._active, self.config.max_active, occupancy,
+            {n: s.policy.weight for n, s in self._tenants.items()},
+        )
+        if ctrl.state == RECOVERING and not self._recheck_pending:
+            # The exit dwell needs one more sample after `brownout_hold`
+            # quiet seconds; without this timer a fully-parked broker
+            # would never observe again and never re-promote.
+            self._recheck_pending = True
+            self.engine.process(
+                self._brownout_recheck(ctrl.config.brownout_hold)
+            )
+
+    def _brownout_recheck(self, delay: float):
+        yield self.engine.timeout(max(delay, 1e-3))
+        self._recheck_pending = False
+        if self._dead:
+            return
+        self._observe_overload()
+        self._kick()
 
     def _dispatch_loop(self):
         while self._outstanding > 0 and not (self._dead or self._draining):
@@ -600,6 +747,7 @@ class TransferBroker:
                 self._active < self.config.max_active
                 and not (self._dead or self._draining)
             ):
+                self._observe_overload()
                 tenant_name = self._runnable_tenant()
                 if tenant_name is None:
                     break
@@ -667,12 +815,10 @@ class TransferBroker:
             cfg.retry_backoff_factor ** max(0, task.attempts - 1)
         )
         delay = min(base, cfg.retry_backoff_cap)
-        if cfg.retry_jitter > 0.0:
-            frac = _retry_jitter_fraction(
-                self.seed, task.job.job_id, task.path, task.attempts
-            )
-            delay *= 1.0 + cfg.retry_jitter * frac
-        return delay
+        # Shared helper, same digest key as PR 7's private function —
+        # backoff schedules stay bit-identical.
+        return jittered(delay, cfg.retry_jitter, self.seed,
+                        task.job.job_id, task.path, task.attempts)
 
     # -- the attempt -------------------------------------------------------------
     def _run_task(self, task: FileTask, state: _TenantState, door: RftpDoor):
@@ -703,16 +849,26 @@ class TransferBroker:
         if self.config.watchdog:
             self.engine.process(self._watchdog(task, door, session_id))
         error: Optional[TransferError] = None
-        try:
-            yield door.transfer(task, session_id=session_id)
-        except TransferError as exc:
-            error = exc
+        if self.attempt_fault_hook is not None \
+                and self.attempt_fault_hook(now):
+            # Retry-storm seam: the attempt dies at the broker boundary
+            # before any transfer traffic — the cheapest, fastest failure
+            # there is, which is exactly what makes storms metastable.
+            error = InjectedAttemptFault(
+                session_id, "injected broker-attempt fault"
+            )
+        else:
+            try:
+                yield door.transfer(task, session_id=session_id)
+            except TransferError as exc:
+                error = exc
         if self._dead:
             return  # the crash owns the state now; recovery will replay
         now = self.engine.now
         state.inflight -= 1
         self._active -= 1
         door.active -= 1
+        self._observe_overload()
         if error is not None and task.state.terminal:
             # cancel_job/deadline aborted the session under us and
             # already journaled the terminal state.
@@ -721,6 +877,8 @@ class TransferBroker:
             return
         if error is None:
             door.breaker.record_success()
+            if self.overload is not None:
+                self.overload.note_success(task.job.tenant)
             self._outstanding -= 1
             metrics["files_finished"].add()
             metrics["bytes_finished"].add(task.size)
@@ -750,18 +908,28 @@ class TransferBroker:
                 path=task.path, door=door.name, attempts=task.attempts,
                 error=type(error).__name__,
             )
-            if task.attempts >= self.config.max_attempts:
+            budget_ok = (
+                self.overload is None
+                or self.overload.allow_retry(task.job.tenant)
+            )
+            if task.attempts >= self.config.max_attempts or not budget_ok:
+                reason = f"{type(error).__name__}: {error}"
+                if not budget_ok:
+                    # Retry budget dry: the tenant's failure burst must
+                    # not amplify into a parked-retry storm — fail NOW.
+                    reason += " (retry budget exhausted)"
+                    self.engine.trace(
+                        "sched", "retry_budget_denied",
+                        job=task.job.job_id, path=task.path,
+                        tenant=task.job.tenant,
+                    )
                 self._outstanding -= 1
                 metrics["files_failed"].add()
                 self._journal_rec(
                     "file_failed", t=now, job_id=task.job.job_id,
-                    index=task.index,
-                    error=f"{type(error).__name__}: {error}",
+                    index=task.index, error=reason,
                 )
-                task.resolve(
-                    FileState.FAILED, now,
-                    error=f"{type(error).__name__}: {error}",
-                )
+                task.resolve(FileState.FAILED, now, error=reason)
                 self._finish_job(task.job)
                 for dup in task.duplicates:
                     self._finish_job(dup.job)
@@ -861,6 +1029,8 @@ class TransferBroker:
             self._drain_wake.succeed(None)
 
     def _checkpoint(self) -> None:
+        from repro.sched.journal import snapshot_jobs
+
         counts = {"finished": 0, "failed": 0, "canceled": 0, "pending": 0}
         for job in self.jobs:
             for task in job.files:
@@ -872,7 +1042,10 @@ class TransferBroker:
                 "jobs": {job.job_id: job.state.value for job in self.jobs},
                 "files": counts,
             },
+            snapshot=snapshot_jobs(self.jobs),
         )
+        if self.config.checkpoint_compact and not self._dead:
+            self.journal.compact()
 
     @classmethod
     def recover(
@@ -883,6 +1056,7 @@ class TransferBroker:
         config: Optional[SchedulerConfig] = None,
         tenants: Optional[Dict[str, TenantPolicy]] = None,
         seed: int = 0,
+        overload: Optional[OverloadConfig] = None,
     ) -> "TransferBroker":
         """Build a new incarnation from a journal replay.
 
@@ -896,8 +1070,17 @@ class TransferBroker:
         ledger, so it must not race fresh sessions)."""
         state = replay(journal.records)
         broker = cls(engine, doors, config, tenants,
-                     journal=journal, seed=seed)
+                     journal=journal, seed=seed, overload=overload)
         broker.recovered = True
+        if broker.overload is not None:
+            # Per-base-id shed counts survive the crash: a job shed
+            # before the crash keeps doubling its RETRY_AFTER after it,
+            # and replayed hints stay byte-identical.
+            for rec in journal.records:
+                if rec.get("kind") == "shed":
+                    base = str(rec["job_id"]).split("~r", 1)[0]
+                    counts = broker.overload._shed_counts
+                    counts[base] = counts.get(base, 0) + 1
         for door in broker.doors.values():
             door.active = 0  # the dead incarnation's slots are gone
         now = engine.now
@@ -906,6 +1089,7 @@ class TransferBroker:
             job.recovered = True
             job.done = Event(engine)
             broker.jobs.append(job)
+            broker._jobs_by_id[job.job_id] = job
             broker._m_rec_jobs.add()
             broker._m_rec_files.add(len(job.files))
             if job.state.terminal:

@@ -144,6 +144,13 @@ class Job:
     #: Optional completion deadline, seconds after submission; past it
     #: the broker cancels whatever files remain (journaled terminal).
     deadline: Optional[float] = None
+    #: True when the overload layer load-shed this submission whole —
+    #: a cooperative rejection, not a failure: ``retry_after`` tells the
+    #: client when to resubmit (the runner honours it).
+    shed: bool = False
+    shed_reason: Optional[str] = None
+    #: Deterministic, jittered RETRY_AFTER hint, seconds (shed jobs).
+    retry_after: Optional[float] = None
     #: True when this job was reconstructed from the journal.
     recovered: bool = False
     #: Succeeds (with the job) once every file is terminal; wired by the

@@ -27,12 +27,20 @@ Record kinds (every record carries the sim time ``t``):
 ``attempt_fail``
     The attempt died with a typed error; carries the advanced
     alternatives cursor so orderly failover resumes where it left off.
+``shed``
+    The overload layer rejected the submission whole (load shedding):
+    carries the shed reason and the deterministic RETRY_AFTER hint, so
+    recovery replays the cooperative-backpressure decision exactly —
+    a shed job stays shed, with the same hint, after a crash.
 ``finish`` / ``file_failed`` / ``cancel``
     Terminal file transitions (job state is derived, never journaled).
 ``checkpoint``
     Written by :meth:`TransferBroker.drain` once in-flight work hit
     zero; carries a state snapshot that replay cross-checks, making a
     clean restart-from-checkpoint distinguishable from crash recovery.
+    Also carries a *full* job snapshot (:func:`snapshot_jobs`), which is
+    what lets :meth:`Journal.compact` truncate the replayed prefix —
+    the in-memory record list stays bounded on long-lived brokers.
 ``recover``
     Boundary marker appended by the *new* incarnation at replay time.
 """
@@ -45,7 +53,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.sched.jobs import FileState, FileTask, Job, JobState, TransferSpec
 
-__all__ = ["Journal", "RecoveredState", "replay"]
+__all__ = [
+    "Journal",
+    "RecoveredState",
+    "replay",
+    "snapshot_jobs",
+    "restore_jobs",
+]
 
 SCHEMA = "repro.sched.journal/1"
 
@@ -103,6 +117,34 @@ class Journal:
                 return rec["spec"]
         return None
 
+    def compact(self) -> int:
+        """Truncate the replayed prefix behind the newest checkpoint
+        that carries a full job snapshot.  Returns the record count
+        dropped.  Replay of the compacted journal restores from the
+        snapshot and is state-identical to replaying the full log, so
+        the in-memory list (and the file mirror, when attached) stays
+        bounded however long the broker lives."""
+        idx = None
+        for i in range(len(self.records) - 1, -1, -1):
+            rec = self.records[i]
+            if rec["kind"] == "checkpoint" and rec.get("snapshot") is not None:
+                idx = i
+                break
+        if idx is None:
+            return 0
+        head = [r for r in self.records[:idx] if r["kind"] == "spec"]
+        dropped = idx - len(head)
+        if dropped <= 0:
+            return 0
+        self.records = head + self.records[idx:]
+        if self.path is not None and self._fh is not None:
+            # Rewrite the mirror so the on-disk log matches the
+            # compacted list, then keep appending to it.
+            self._fh.close()
+            self.sync(self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return dropped
+
     def replay(self) -> "RecoveredState":
         return replay(self.records)
 
@@ -124,6 +166,100 @@ class RecoveredState:
 
 def _job_snapshot(jobs: List[Job]) -> Dict[str, str]:
     return {job.job_id: job.state.value for job in jobs}
+
+
+def snapshot_jobs(jobs: List[Job]) -> List[Dict[str, Any]]:
+    """Full JSON-serialisable snapshot of the job table, written into
+    checkpoint records so :meth:`Journal.compact` can drop the prefix.
+
+    ``duplicate_of`` pointers are serialised as ``[job_id, index]``
+    references and re-wired on restore, preserving the dedupe cascade.
+    """
+    out: List[Dict[str, Any]] = []
+    for job in jobs:
+        files = []
+        for task in job.files:
+            dup = task.duplicate_of
+            files.append({
+                "path": task.spec.path,
+                "size": task.spec.size,
+                "sources": list(task.spec.sources),
+                "state": task.state.value,
+                "attempts": task.attempts,
+                "alt_cursor": task.alt_cursor,
+                "source_used": task.source_used,
+                "error": task.error,
+                "submitted_at": task.submitted_at,
+                "started_at": task.started_at,
+                "finished_at": task.finished_at,
+                "duplicate_of": (
+                    [dup.job.job_id, dup.index] if dup is not None else None
+                ),
+                "last_session": task.last_session,
+                "last_door": task.last_door,
+                "recovered": task.recovered,
+                "resumed_from": task.resumed_from,
+            })
+        out.append({
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "priority": job.priority,
+            "state": job.state.value,
+            "submitted_at": job.submitted_at,
+            "finished_at": job.finished_at,
+            "deadline": job.deadline,
+            "shed": job.shed,
+            "shed_reason": job.shed_reason,
+            "retry_after": job.retry_after,
+            "recovered": job.recovered,
+            "files": files,
+        })
+    return out
+
+
+def restore_jobs(snapshot: List[Dict[str, Any]]) -> List[Job]:
+    """Rebuild the job table from a checkpoint snapshot (two passes:
+    construct every job, then re-wire the duplicate cascades)."""
+    jobs: List[Job] = []
+    by_id: Dict[str, Job] = {}
+    for jrec in snapshot:
+        specs = [
+            TransferSpec(f["path"], int(f["size"]), tuple(f["sources"]))
+            for f in jrec["files"]
+        ]
+        job = Job.build(jrec["job_id"], jrec["tenant"], specs,
+                        int(jrec["priority"]))
+        job.state = JobState(jrec["state"])
+        job.submitted_at = float(jrec["submitted_at"])
+        job.finished_at = jrec["finished_at"]
+        job.deadline = jrec["deadline"]
+        job.shed = bool(jrec.get("shed", False))
+        job.shed_reason = jrec.get("shed_reason")
+        job.retry_after = jrec.get("retry_after")
+        job.recovered = bool(jrec.get("recovered", False))
+        for task, frec in zip(job.files, jrec["files"]):
+            task.state = FileState(frec["state"])
+            task.attempts = int(frec["attempts"])
+            task.alt_cursor = int(frec["alt_cursor"])
+            task.source_used = frec["source_used"]
+            task.error = frec["error"]
+            task.submitted_at = float(frec["submitted_at"])
+            task.started_at = frec["started_at"]
+            task.finished_at = frec["finished_at"]
+            task.last_session = frec["last_session"]
+            task.last_door = frec["last_door"]
+            task.recovered = bool(frec.get("recovered", False))
+            task.resumed_from = int(frec.get("resumed_from", 0))
+        jobs.append(job)
+        by_id[job.job_id] = job
+    for job, jrec in zip(jobs, snapshot):
+        for task, frec in zip(job.files, jrec["files"]):
+            ref = frec["duplicate_of"]
+            if ref is not None:
+                owner = by_id[ref[0]].files[int(ref[1])]
+                task.duplicate_of = owner
+                owner.duplicates.append(task)
+    return jobs
 
 
 def replay(records: List[Dict[str, Any]]) -> RecoveredState:
@@ -169,6 +305,21 @@ def replay(records: List[Dict[str, Any]]) -> RecoveredState:
                 task.finished_at = t
                 task.error = rec.get("reason")
             continue
+        if kind == "shed":
+            # Load-shed whole: replays exactly like the broker decided
+            # it — same reason, same RETRY_AFTER hint — so a shed job
+            # stays shed (with an identical report line) after a crash.
+            job = pending.pop(rec["job_id"])
+            job.state = JobState.CANCELED
+            job.finished_at = t
+            job.shed = True
+            job.shed_reason = rec.get("reason")
+            job.retry_after = rec.get("retry_after")
+            for task in job.files:
+                task.state = FileState.CANCELED
+                task.finished_at = t
+                task.error = f"shed: {rec.get('reason')}"
+            continue
         if kind == "admit":
             job = pending.pop(rec["job_id"])
             for task in job.files:
@@ -180,6 +331,20 @@ def replay(records: List[Dict[str, Any]]) -> RecoveredState:
                 dest_owner[task.path] = task
             continue
         if kind == "checkpoint":
+            full = rec.get("snapshot")
+            if full is not None and not order:
+                # Compacted journal: this checkpoint is the first
+                # meaningful record — the prefix was truncated behind
+                # its full snapshot.  Restore the table wholesale.
+                for job in restore_jobs(full):
+                    jobs_by_id[job.job_id] = job
+                    order.append(job)
+                    for task in job.files:
+                        if task.duplicate_of is not None:
+                            continue
+                        owner = dest_owner.get(task.path)
+                        if owner is None or owner.state.terminal:
+                            dest_owner[task.path] = task
             snapshot = rec.get("state", {}).get("jobs")
             if snapshot is not None and snapshot != _job_snapshot(order):
                 raise ValueError(

@@ -15,7 +15,7 @@ from repro.sched.jobs import Job
 
 __all__ = ["report_lines", "stable_report_lines", "write_report", "summarize"]
 
-SCHEMA = "repro.sched.report/2"
+SCHEMA = "repro.sched.report/3"
 
 
 def _round(x: float) -> float:
@@ -29,11 +29,15 @@ def summarize(jobs: Iterable[Job], engine: Any) -> Dict[str, Any]:
         t = tenants.setdefault(job.tenant, {
             "jobs": 0, "files": 0, "finished": 0, "failed": 0,
             "canceled": 0, "retries": 0, "bytes_finished": 0,
+            "shed_jobs": 0, "shed_files": 0,
             "last_finish": 0.0,
         })
         t["jobs"] += 1
         t["files"] += len(job.files)
         t["retries"] += job.retries
+        if job.shed:
+            t["shed_jobs"] += 1
+            t["shed_files"] += len(job.files)
         for task in job.files:
             if task.state.value == "FINISHED":
                 t["finished"] += 1
@@ -70,6 +74,12 @@ def report_lines(jobs: List[Job], engine: Any, header: Dict[str, Any]) -> List[s
             "state": job.state.value,
             "files": len(job.files),
             "retries": job.retries,
+            "shed": job.shed,
+            "shed_reason": job.shed_reason,
+            "retry_after": (
+                _round(job.retry_after) if job.retry_after is not None
+                else None
+            ),
             "submitted_at": _round(job.submitted_at),
             "finished_at": (
                 _round(job.finished_at) if job.finished_at is not None else None
@@ -123,6 +133,7 @@ def stable_report_lines(jobs: List[Job]) -> List[str]:
             "priority": job.priority,
             "state": job.state.value,
             "files": len(job.files),
+            "shed": job.shed,
         })
         for task in job.files:
             records.append({

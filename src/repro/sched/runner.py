@@ -31,10 +31,14 @@ from repro.sched.broker import (
 )
 from repro.sched.jobs import FileState, Job, TransferSpec
 from repro.sched.journal import Journal
+from repro.sched.overload import OverloadConfig
 from repro.sched.spec import validate_spec
 from repro.testbeds import TESTBEDS, Testbed
 
-__all__ = ["SchedResult", "BrokerSupervisor", "run_sched", "audit_delivery"]
+__all__ = [
+    "SchedResult", "BrokerSupervisor", "run_sched", "audit_delivery",
+    "quiescence_leaks",
+]
 
 _PORT = 2811
 
@@ -46,7 +50,7 @@ _FAULT_KEYS = {
     "ctrl_delay_seconds", "link_flaps", "latency_spike_rate",
     "latency_spike_seconds", "payload_corrupt_rate", "sink_crashes",
     "source_crashes", "broker_crashes", "qp_kills", "heartbeat_drop_rate",
-    "fallback_deny",
+    "fallback_deny", "attempt_fault_rate", "attempt_fault_window",
 }
 
 
@@ -74,6 +78,7 @@ class BrokerSupervisor:
         seed: int = 0,
         restart_delay: float = 0.5,
         recover_path: Optional[str] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if restart_delay <= 0:
             raise ValueError("restart_delay must be positive")
@@ -84,8 +89,13 @@ class BrokerSupervisor:
         self.seed = seed
         self.restart_delay = restart_delay
         self.recover_path = recover_path
+        self.overload = overload
+        #: Chaos seam carried across incarnations: re-installed on every
+        #: recovered broker so a retry storm survives its own crash.
+        self.attempt_fault_hook = None
         self.broker = TransferBroker(
-            engine, doors, config, tenants, journal=journal, seed=seed
+            engine, doors, config, tenants, journal=journal, seed=seed,
+            overload=overload,
         )
         self.recoveries = 0
         self._pending: List[Tuple[Any, ...]] = []
@@ -122,7 +132,9 @@ class BrokerSupervisor:
         self.broker = TransferBroker.recover(
             self.engine, self.doors, journal,
             config=self.config, tenants=self.tenants, seed=self.seed,
+            overload=self.overload,
         )
+        self.broker.attempt_fault_hook = self.attempt_fault_hook
         self.recoveries += 1
         pending, self._pending = self._pending, []
         for tenant, files, priority, job_id, deadline in pending:
@@ -158,10 +170,32 @@ class SchedResult:
     #: Bytes moved after crash recovery by resumed sessions (the suffix
     #: past each sink restart marker).
     recovered_suffix_bytes: int = 0
+    #: The run's server (for quiescence leak audits of the sink side).
+    server: Any = None
+    #: Post-run quiescence problems (see :func:`quiescence_leaks`).
+    leaks: List[str] = field(default_factory=list)
+    #: Jobs (and their files) the overload layer load-shed whole.
+    shed_jobs: int = 0
+    shed_files: int = 0
 
     @property
     def all_finished(self) -> bool:
         return all(j.state.value == "FINISHED" for j in self.jobs)
+
+    @property
+    def unresolved(self) -> List[Job]:
+        """Jobs that neither finished nor were cooperatively shed — the
+        set an operator actually has to chase after an overload run."""
+        return [
+            j for j in self.jobs
+            if j.state.value != "FINISHED" and not j.shed
+        ]
+
+    @property
+    def all_resolved(self) -> bool:
+        """Every job finished or was shed with a RETRY_AFTER hint (shed
+        work is *reported*, not lost — that counts as resolved)."""
+        return not self.unresolved
 
 
 def _build_fault_plan(obj: Dict[str, Any]):
@@ -260,6 +294,58 @@ def audit_delivery(
     return not problems, problems, overlap_bytes, recovered_suffix_bytes
 
 
+def quiescence_leaks(result: "SchedResult") -> List[str]:
+    """Post-run leak audit: after a shed-heavy campaign every transient
+    structure must be back at baseline.
+
+    Shedding rejects work at admission, so nothing it touches may linger:
+    broker worker slots, parked retry timers, tenant queues and stride
+    bookkeeping, destination ownership, and — on the server side — sink
+    session tables and reassembly parking must all be empty/terminal.
+    Returns a list of problems (empty means quiescent).
+    """
+    leaks: List[str] = []
+    broker = result.broker
+    if broker._active:
+        leaks.append(f"{broker._active} broker worker slots still active")
+    if broker._outstanding:
+        leaks.append(f"{broker._outstanding} primary files still outstanding")
+    if broker._parked:
+        leaks.append(f"{len(broker._parked)} retry timers still parked")
+    for name, state in sorted(broker._tenants.items()):
+        if state.queued or state.inflight or state.parked:
+            leaks.append(
+                f"tenant {name!r} not at baseline: queued={state.queued} "
+                f"inflight={state.inflight} parked={state.parked}"
+            )
+    for path, task in sorted(broker._dest_owner.items()):
+        if not task.state.terminal:
+            leaks.append(
+                f"dest owner for {path!r} non-terminal ({task.state.value})"
+            )
+    server = result.server
+    if server is not None:
+        history_cap = server.config.sink_session_history
+        for client_id, eng in sorted(server.middleware.sink_engines.items()):
+            if eng.active_sessions():
+                leaks.append(
+                    f"sink engine {client_id}: {eng.active_sessions()} "
+                    f"sessions never retired"
+                )
+            if len(eng._retired) > history_cap:
+                leaks.append(
+                    f"sink engine {client_id}: retired-session history "
+                    f"{len(eng._retired)} exceeds cap {history_cap}"
+                )
+            parked = eng.reassembly.sessions_with_parked()
+            if parked:
+                leaks.append(
+                    f"sink engine {client_id}: reassembly entries parked "
+                    f"for sessions {parked}"
+                )
+    return leaks
+
+
 def run_sched(
     spec: Optional[Dict[str, Any]] = None,
     config: Optional[ProtocolConfig] = None,
@@ -337,6 +423,7 @@ def run_sched(
     broker_cfg = SchedulerConfig(
         max_active=int(spec.get("max_active", 8)),
         watchdog=bool(spec.get("watchdog", False)),
+        checkpoint_compact=bool(spec.get("checkpoint_compact", False)),
     )
     tenants = {
         name: TenantPolicy(
@@ -346,14 +433,19 @@ def run_sched(
         )
         for name, t in spec.get("tenants", {}).items()
     }
+    overload_cfg = None
+    if spec.get("overload"):
+        overload_cfg = OverloadConfig.from_spec(spec["overload"])
     supervisor = BrokerSupervisor(
         engine, doors, broker_cfg, tenants,
         journal=None if recovering else journal,
         seed=seed, restart_delay=restart_delay,
         recover_path=None if recovering else recover,
+        overload=overload_cfg,
     )
     if injector is not None:
         injector.arm_broker(supervisor)
+        injector.arm_scheduler(supervisor)
 
     job_specs = spec["jobs"]
     drain_at = spec.get("drain_at")
@@ -370,14 +462,19 @@ def run_sched(
             supervisor.broker = TransferBroker.recover(
                 engine, doors, journal,
                 config=broker_cfg, tenants=tenants, seed=seed,
+                overload=overload_cfg,
             )
+            supervisor.broker.attempt_fault_hook = \
+                supervisor.attempt_fault_hook
             return
         for i, js in enumerate(job_specs):
             engine.process(_submit(i, js))
 
-    def _submit(index: int, js: Dict[str, Any]):
-        delay = float(js.get("submit_at", 0.0))
-        yield engine.timeout(delay)
+    resubmit_limit = int(spec.get("resubmit_limit", 0))
+
+    def _submit(index: int, js: Dict[str, Any], attempt: int = 0):
+        if attempt == 0:
+            yield engine.timeout(float(js.get("submit_at", 0.0)))
         files = [
             TransferSpec(
                 path=f["path"],
@@ -386,13 +483,20 @@ def run_sched(
             )
             for f in js["files"]
         ]
-        supervisor.submit(
+        base_id = js.get("job_id", f"job-{index + 1:04d}")
+        job = supervisor.submit(
             js.get("tenant", "default"),
             files,
             priority=int(js.get("priority", 0)),
-            job_id=js.get("job_id", f"job-{index + 1:04d}"),
+            job_id=base_id if attempt == 0 else f"{base_id}~r{attempt}",
             deadline=js.get("deadline"),
         )
+        if job is not None and job.shed and attempt < resubmit_limit:
+            # Cooperative client: honour the broker's RETRY_AFTER hint,
+            # then resubmit under a fresh incarnation id (so recovery
+            # dedupes each incarnation against its own journal record).
+            yield engine.timeout(max(job.retry_after or 0.0, 1e-6))
+            yield from _submit(index, js, attempt + 1)
 
     def _drain():
         yield engine.timeout(float(drain_at))
@@ -423,13 +527,18 @@ def run_sched(
         "faults": bool(injector is not None),
         "recovered": bool(recovering or supervisor.recoveries > 0),
         "drained": status["drained"],
+        "overload": overload_cfg is not None,
+        "resubmit_limit": resubmit_limit,
     }
     result = SchedResult(
         jobs=broker.jobs, broker=broker, testbed=testbed, header=header,
         journal=broker.journal, recoveries=supervisor.recoveries,
         drained=status["drained"], source=source, sink=sink,
-        block_size=cfg.block_size,
+        block_size=cfg.block_size, server=server,
+        shed_jobs=sum(1 for j in broker.jobs if j.shed),
+        shed_files=sum(len(j.files) for j in broker.jobs if j.shed),
     )
+    result.leaks = quiescence_leaks(result)
     if audit and sink is not None:
         ok, problems, overlap, suffix = audit_delivery(
             broker.jobs, sink, source, cfg.block_size

@@ -33,7 +33,7 @@ import json
 import random
 from typing import Any, Dict, List, Optional
 
-__all__ = ["load_spec", "validate_spec", "synthetic_spec"]
+__all__ = ["load_spec", "validate_spec", "synthetic_spec", "overload_spec"]
 
 MiB = 1024 * 1024
 
@@ -78,11 +78,23 @@ def validate_spec(spec: Dict[str, Any]) -> None:
         raise ValueError("'doors' must be a positive integer")
     if not isinstance(spec.get("watchdog", False), bool):
         raise ValueError("'watchdog' must be a boolean")
+    if not isinstance(spec.get("checkpoint_compact", False), bool):
+        raise ValueError("'checkpoint_compact' must be a boolean")
     drain_at = spec.get("drain_at")
     if drain_at is not None and (
         not isinstance(drain_at, (int, float)) or drain_at <= 0
     ):
         raise ValueError("'drain_at' must be a positive number")
+    overload = spec.get("overload")
+    if overload is not None:
+        if not isinstance(overload, dict):
+            raise ValueError("'overload' must be an object")
+        from repro.sched.overload import OverloadConfig
+
+        OverloadConfig.from_spec(overload)  # raises on bad keys/values
+    resubmit = spec.get("resubmit_limit", 0)
+    if not isinstance(resubmit, int) or resubmit < 0:
+        raise ValueError("'resubmit_limit' must be a non-negative integer")
 
 
 def synthetic_spec(
@@ -139,6 +151,102 @@ def synthetic_spec(
             for name, w in weights.items()
         },
         "jobs": jobs,
+    }
+    validate_spec(spec)
+    return spec
+
+
+def overload_spec(
+    seed: int = 0,
+    total_files: int = 600,
+    tenants: Optional[Dict[str, float]] = None,
+    testbed: str = "ani-wan",
+    doors: int = 2,
+    max_active: int = 8,
+    files_per_job: int = 20,
+    base_rate: float = 40.0,
+    spike: float = 10.0,
+    spike_start: float = 4.0,
+    spike_duration: float = 8.0,
+    resubmit_limit: int = 2,
+    overload: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """An open-loop arrival-spike mix with overload controls armed.
+
+    Jobs arrive on a deterministic open-loop schedule: ``base_rate``
+    files per second outside the spike window, ``base_rate * spike``
+    inside it — the 10× burst the broker must shed its way through
+    without collapsing goodput for admitted work.  Tenants alternate
+    job-for-job; the heaviest-weight tenant submits at priority 1 so the
+    priority-overdraft path is exercised.  ``overload`` overrides the
+    armed :class:`~repro.sched.overload.OverloadConfig` knobs;
+    ``resubmit_limit`` is how many times the runner honours a shed job's
+    RETRY_AFTER hint before giving up.
+    """
+    if total_files < 1:
+        raise ValueError("total_files must be >= 1")
+    if base_rate <= 0 or spike < 1.0:
+        raise ValueError("need base_rate > 0 and spike >= 1")
+    weights = tenants or {"gold": 3.0, "bronze": 1.0}
+    rng = random.Random(seed)
+    door_names = [f"door-{i}" for i in range(doors)]
+    names = sorted(weights)
+    top = max(names, key=lambda n: (weights[n], n))
+    counters = {name: 0 for name in names}
+    jobs: List[Dict[str, Any]] = []
+    t = 0.0
+    n_jobs = max(1, -(-total_files // files_per_job))
+    remaining = total_files
+    for j in range(n_jobs):
+        name = names[j % len(names)]
+        count = min(files_per_job, remaining)
+        remaining -= count
+        files = []
+        for _ in range(count):
+            idx = counters[name]
+            counters[name] += 1
+            files.append({
+                "path": f"/data/{name}/f{idx:06d}",
+                "size": rng.choice(_SIZE_PALETTE),
+                "sources": door_names,
+            })
+        jobs.append({
+            "tenant": name,
+            "priority": 1 if name == top else 0,
+            "submit_at": round(t, 6),
+            "files": files,
+        })
+        rate = base_rate
+        if spike_start <= t < spike_start + spike_duration:
+            rate = base_rate * spike
+        t += files_per_job / rate
+    controls = {
+        "max_queued_files": 160,
+        "global_rate": 46.0,
+        "global_burst": 92.0,
+        "tenant_rate": 36.0,
+        "tenant_burst": 54.0,
+        "retry_budget_ratio": 0.5,
+        "retry_budget_burst": 8.0,
+        "retry_after_base": 0.5,
+        "retry_after_cap": 20.0,
+    }
+    if overload:
+        controls.update(overload)
+    spec = {
+        "testbed": testbed,
+        "seed": seed,
+        "max_active": max_active,
+        "doors": doors,
+        "door_sessions": 4,
+        "tenants": {
+            name: {"weight": w, "max_inflight": max_active,
+                   "max_queued": 10 ** 9}
+            for name, w in weights.items()
+        },
+        "jobs": jobs,
+        "overload": controls,
+        "resubmit_limit": resubmit_limit,
     }
     validate_spec(spec)
     return spec

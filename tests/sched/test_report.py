@@ -31,7 +31,7 @@ def test_report_shape_and_rollup():
 
     header, summary = records[0], records[-1]
     assert header["kind"] == "header"
-    assert header["schema"] == "repro.sched.report/2"
+    assert header["schema"] == "repro.sched.report/3"
     assert header["testbed"] == "ani-wan" and header["doors"] == 2
 
     jobs = [r for r in records if r["kind"] == "job"]
