@@ -374,6 +374,8 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             if args.attempt_fault_window is not None:
                 faults["attempt_fault_window"] = args.attempt_fault_window
             spec["faults"] = faults
+        if args.use_srq:
+            spec["use_srq"] = True
     result = run_sched(
         spec,
         horizon=args.horizon,
@@ -702,6 +704,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, metavar=("START", "END"),
                    help="sim-time window outside which --attempt-fault-rate "
                         "is dormant")
+    p.add_argument("--use-srq", action="store_true",
+                   help="connection-scaling mode: sessions lease shared "
+                        "data channels from one per-host QP pool (SRQ "
+                        "receive side, eager SEND path for small blocks) "
+                        "instead of opening dedicated QPs per door")
     _add_export_args(p)
     p.set_defaults(func=_cmd_sched)
 

@@ -8,8 +8,10 @@ calling thread here, in one place.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, List, Optional
+import itertools
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
+from repro.core.health import ChannelBreaker
 from repro.core.messages import ControlMessage, CTRL_MSG_BYTES, DataBlockWire
 from repro.verbs.cq import CompletionChannel
 from repro.verbs.errors import QpStateError
@@ -18,12 +20,21 @@ from repro.verbs.wr import Opcode, RecvWR, SendWR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.blocks import SourceBlock
+    from repro.core.config import ProtocolConfig
     from repro.core.credits import Credit
     from repro.core.messages import BlockHeader
+    from repro.core.pool import BlockPool, ResourcePool
     from repro.hardware.cpu import CpuThread
+    from repro.hardware.host import Host
+    from repro.verbs.cq import CompletionQueue
     from repro.verbs.qp import QueuePair
 
-__all__ = ["ControlChannel", "DataChannels", "NoLiveChannelError"]
+__all__ = [
+    "ControlChannel",
+    "DataChannels",
+    "HostChannelPool",
+    "NoLiveChannelError",
+]
 
 
 class NoLiveChannelError(RuntimeError):
@@ -289,6 +300,44 @@ class DataChannels:
         self._m_posted.add()
         self._m_posted_by_qp[qp.qp_num].add()
 
+    def post_send_block(
+        self,
+        thread: "CpuThread",
+        block: "SourceBlock",
+        header: "BlockHeader",
+        wr_id: int,
+    ) -> Generator:
+        """Post one block as a two-sided SEND — the *eager* transport.
+
+        No credit precedes this: the receiver's shared receive queue
+        supplies the landing buffer, so a small block costs one shared
+        WQE instead of an MR exchange plus a dedicated region.  An empty
+        SRQ shows up as RNR NAK + retry inside the QP, exactly the
+        backpressure the rendezvous path expresses through credits.
+        """
+        while True:
+            qp = self._pick()
+            while qp.send_room == 0 and qp.state is QpState.RTS:
+                yield self.engine.timeout(self._BACKOFF)
+            yield thread.exec(self.profile.post_send_seconds)
+            wire = DataBlockWire(header=header, payload=block.payload)
+            try:
+                qp.post_send(
+                    SendWR(
+                        opcode=Opcode.SEND,
+                        length=header.wire_bytes,
+                        wr_id=wr_id,
+                        payload=wire,
+                    )
+                )
+            except QpStateError:
+                # The chosen QP died between pick and post; fail over to a
+                # surviving channel (or let _pick raise when none remain).
+                continue
+            break
+        self._m_posted.add()
+        self._m_posted_by_qp[qp.qp_num].add()
+
     @property
     def outstanding(self) -> int:
         # Detached QPs still drain flush completions; count them so the
@@ -296,3 +345,80 @@ class DataChannels:
         return sum(qp.send_outstanding for qp in self.qps) + sum(
             qp.send_outstanding for qp in self.dead
         )
+
+
+class HostChannelPool:
+    """Shared data-plane for every link to one ``(host, port)`` peer.
+
+    In srq mode (``config.use_srq``) the middleware opens the data-plane
+    *once per peer host*: ``qp_pool_size`` QPs sharing one send CQ, one
+    registered source block pool, and a :class:`~repro.core.pool.ResourcePool`
+    of session leases.  Links lease a slot instead of creating
+    ``num_channels`` dedicated QPs and a dedicated pool each — per-host
+    pinned memory and QP count stay constant as session concurrency
+    grows, which is the whole point of the SRQ design.
+
+    The pool owns the one :class:`CompletionChannel` on the shared send
+    CQ and runs the completion dispatcher: every posted WR is registered
+    in :attr:`routes` (wr_id → owning link) and its completion is routed
+    to that link's inbox.  Circuit breakers are pool-level too — a
+    flapping shared QP is quarantined for every rider at once.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        data: DataChannels,
+        send_cq: "CompletionQueue",
+        block_pool: "BlockPool",
+        sessions: "ResourcePool",
+        config: "ProtocolConfig",
+    ) -> None:
+        self.host = host
+        self.engine = host.engine
+        self.data = data
+        self.send_cq = send_cq
+        self.cc = CompletionChannel(send_cq)
+        self.block_pool = block_pool
+        self.sessions = sessions
+        self.config = config
+        #: One wr_id space for every link riding the shared send CQ.
+        self.wr_ids = itertools.count()
+        #: wr_id -> owning SourceLink; popped as completions are routed.
+        #: A link that abandons a post before the WR reaches the wire
+        #: (no-live-channel cleanup) pops its own entry.
+        self.routes: Dict[int, object] = {}
+        self._breakers: Dict[int, ChannelBreaker] = {}
+        self._started = False
+
+    def breaker_for(self, qp_num: int) -> ChannelBreaker:
+        """Pool-level circuit breakers: quarantine history is shared by
+        every link (cooldown uses the static floor — the pool has no
+        single RTT estimator to adapt with)."""
+        breaker = self._breakers.get(qp_num)
+        if breaker is None:
+            breaker = ChannelBreaker(
+                qp_num,
+                self.config.breaker_failures,
+                lambda: self.config.breaker_cooldown_min,
+            )
+            self._breakers[qp_num] = breaker
+        return breaker
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.data.breaker_lookup = self.breaker_for
+        self.engine.process(self._dispatch_thread())
+
+    def _dispatch_thread(self) -> Generator:
+        thread = self.host.thread("qp-pool", "app")
+        while True:
+            yield self.cc.wait(thread)
+            wcs = yield self.send_cq.poll(thread, max_entries=64)
+            for wc in wcs:
+                link = self.routes.pop(wc.wr_id, None)
+                if link is None:
+                    continue  # owner withdrew the post before it flew
+                yield link._wc_inbox.put(wc)

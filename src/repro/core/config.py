@@ -115,6 +115,33 @@ class ProtocolConfig:
     #: many short sessions this history previously grew without bound;
     #: the oldest retired session's state is evicted beyond the cap.
     sink_session_history: int = 4096
+    #: Connection-scaling mode: sessions to the same (host, port) lease
+    #: shared data channels from one per-host QP pool whose receive side
+    #: is a shared receive queue, instead of each opening ``num_channels``
+    #: dedicated QPs and a dedicated block pool.  Escape hatch like
+    #: ``use_fluid``/``use_wheel``: with the default False every code
+    #: path, metric label and event order is bit-identical to the
+    #: dedicated-QP protocol.
+    use_srq: bool = False
+    #: Shared receive-WQE budget per host pool (``use_srq`` only).  Sized
+    #: for aggregate arrival rate, not per-connection: this bounds pinned
+    #: receive memory regardless of how many sessions are multiplexed.
+    srq_depth: int = 256
+    #: Data QPs in the shared per-host pool (``use_srq`` only).  Replaces
+    #: per-link ``num_channels`` fan-out: every session on the host pair
+    #: stripes over these.
+    qp_pool_size: int = 4
+    #: Concurrent session leases one host pool hands out (``use_srq``
+    #: only).  This is what the scheduler's door caps derive from — real
+    #: pool capacity, not a config constant.
+    pool_sessions: int = 32
+    #: Eager/rendezvous switch (``use_srq`` only): a session whose block
+    #: payloads fit under this many bytes rides SEND/RECV on the shared
+    #: channels — one shared WQE per block, no MR exchange, no credit
+    #: round trips.  Larger sessions keep the rendezvous path: credits
+    #: carrying (addr, rkey) and dedicated RDMA WRITEs.  0 disables the
+    #: eager path entirely.
+    eager_threshold: int = 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.block_size < 4096:
@@ -169,3 +196,11 @@ class ProtocolConfig:
             raise ValueError("idle_rto_multiplier must be positive")
         if self.sink_session_history < 1:
             raise ValueError("sink_session_history must be >= 1")
+        if self.srq_depth < 1:
+            raise ValueError("srq_depth must be >= 1")
+        if self.qp_pool_size < 1:
+            raise ValueError("qp_pool_size must be >= 1")
+        if self.pool_sessions < 1:
+            raise ValueError("pool_sessions must be >= 1")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be >= 0")

@@ -13,17 +13,22 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
-from repro.core.channels import ControlChannel, DataChannels
+from repro.core.channels import ControlChannel, DataChannels, HostChannelPool
 from repro.core.config import ProtocolConfig
-from repro.core.pool import BlockPool
+from repro.core.messages import HEADER_BYTES
+from repro.core.pool import BlockPool, ResourcePool
 from repro.core.sink_engine import SinkEngine
 from repro.core.source_link import SourceLink
+from repro.sim.events import Event
+from repro.verbs.cq import CompletionChannel
+from repro.verbs.wr import RecvWR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.host import Host
     from repro.sim.engine import Engine
     from repro.verbs.cm import ConnectionManager
     from repro.verbs.device import Device
+    from repro.verbs.srq import SharedReceiveQueue
 
 __all__ = ["RdmaMiddleware", "TransferOutcome", "allocate_session_id"]
 
@@ -96,6 +101,15 @@ class RdmaMiddleware:
         self.engine: "Engine" = host.engine
         self.pd = device.alloc_pd()
         self.sink_engines: Dict[int, SinkEngine] = {}  # by client id
+        #: srq mode, client side: one shared data-plane per (peer, port).
+        #: Values are either a live :class:`HostChannelPool` or a
+        #: ``("pending", Event)`` sentinel while the first opener is
+        #: still connecting its QPs (racers wait on the event).
+        self._host_pools: Dict[Any, Any] = {}
+        #: srq mode, server side: the shared receive queue and its
+        #: dispatcher state, created on the first :meth:`serve`.
+        self._srq: Optional["SharedReceiveQueue"] = None
+        self._srq_recv_cq = None
 
     # -- server role ----------------------------------------------------------------
     def serve(self, port: int, data_sink: Any) -> None:
@@ -103,8 +117,24 @@ class RdmaMiddleware:
 
         ``data_sink`` must provide ``write(thread, nbytes, header, payload)``
         as a process generator (see :mod:`repro.apps.io`).
+
+        In srq mode every accepted data QP is attached to one shared
+        receive queue instead of owning a receive ring: eager SENDs from
+        any client draw landing buffers from the same bounded WQE pool,
+        and one dispatcher thread demultiplexes arrivals to the owning
+        :class:`SinkEngine` by session id.
         """
         listener = self.cm.listen(self.device, port)
+        if self.config.use_srq and self._srq is None:
+            self._srq = self.pd.create_srq(depth=self.config.srq_depth)
+            self._srq_recv_cq = self.device.create_cq()
+            # Pre-post the shared ring (setup time, not charged).  Each
+            # WQE must fit a full block plus its wire header, or an
+            # arriving SEND is dropped with a local length error.
+            wqe_len = self.config.block_size + HEADER_BYTES
+            for i in range(self.config.srq_depth):
+                self._srq.post_recv(RecvWR(length=wqe_len, wr_id=i))
+            self.engine.process(self._srq_dispatch())
 
         def _accept_loop() -> Generator:
             while True:
@@ -130,11 +160,19 @@ class RdmaMiddleware:
                     engine.start()
                     self.sink_engines[client_id] = engine
                 elif kind == "data":
+                    # An empty CQ is falsy (len 0), so the shared recv CQ
+                    # must be tested against None, not truthiness.
+                    recv_cq = (
+                        self._srq_recv_cq
+                        if self._srq_recv_cq is not None
+                        else self.device.create_cq()
+                    )
                     data_qp = self.device.create_qp(
                         self.pd,
                         self.device.create_cq(),
-                        self.device.create_cq(),
+                        recv_cq,
                         max_send_wr=self.config.send_queue_depth,
+                        srq=self._srq,
                     )
                     request.accept(data_qp)
                 else:  # pragma: no cover - defensive
@@ -147,7 +185,99 @@ class RdmaMiddleware:
             self.host, self.pd, self.config.sink_blocks, block_size
         )
 
+    def _engine_for_session(self, session_id: int) -> Optional[SinkEngine]:
+        """The sink engine holding a live registration for ``session_id``."""
+        for engine in self.sink_engines.values():
+            if session_id in engine._expected_bytes:
+                return engine
+        return None
+
+    def _srq_dispatch(self) -> Generator:
+        """Shared-receive-queue dispatcher: route eager arrivals.
+
+        One thread serves every data QP attached to the SRQ.  The
+        consumed WQE is re-posted only *after* the engine's handler
+        returns — the handler may wait on a free sink block, so pool
+        starvation shrinks the shared ring and surfaces as RNR NAKs on
+        the wire, the eager analogue of withholding credits.
+        """
+        assert self._srq is not None and self._srq_recv_cq is not None
+        thread = self.host.thread("srq-sink", "app")
+        recv_channel = CompletionChannel(self._srq_recv_cq)
+        profile = self.device.arch_profile
+        wqe_len = self.config.block_size + HEADER_BYTES
+        stray = self.engine.metrics.counter("sink.eager_stray")
+        while True:
+            yield recv_channel.wait(thread)
+            wcs = yield self._srq_recv_cq.poll(thread, max_entries=64)
+            for wc in wcs:
+                if not wc.ok or wc.payload is None:
+                    continue
+                wire = wc.payload
+                engine = self._engine_for_session(wire.header.session_id)
+                if engine is None:
+                    # No live registration (late arrival after finish /
+                    # reclaim, or a misrouted SEND): drop and count.
+                    stray.add()
+                else:
+                    yield from engine.on_eager_block(thread, wire)
+                yield thread.exec(profile.post_recv_seconds)
+                self._srq.post_recv(RecvWR(length=wqe_len, wr_id=wc.wr_id))
+
     # -- client role -----------------------------------------------------------------
+    def _get_host_pool(
+        self,
+        remote: "Device",
+        port: int,
+        cfg: ProtocolConfig,
+        client_id: int,
+        fault_injector: Any,
+    ) -> Generator:
+        """The shared :class:`HostChannelPool` for ``(remote, port)``,
+        creating it on first use (srq mode only).
+
+        Concurrent first openers race here; a pending sentinel is stored
+        synchronously (before the first yield) so exactly one of them
+        connects the pool QPs while the rest wait on its event.  Fault
+        injectors are installed on the pool QPs at creation only — the
+        first opener's hooks cover every rider, matching the shared
+        fate of shared channels.
+        """
+        key = (remote, port)
+        entry = self._host_pools.get(key)
+        if isinstance(entry, HostChannelPool):
+            return entry
+        if entry is not None:  # ("pending", event): creation in flight
+            yield entry[1]
+            return self._host_pools[key]
+        pending = Event(self.engine)
+        self._host_pools[key] = ("pending", pending)
+        send_cq = self.device.create_cq()
+        qps = []
+        for i in range(cfg.qp_pool_size):
+            qp = self.device.create_qp(
+                self.pd,
+                send_cq,
+                self.device.create_cq(),
+                max_send_wr=cfg.send_queue_depth,
+            )
+            yield self.cm.connect(qp, remote, port, ("data", client_id, i))
+            qp.fault_injector = getattr(
+                fault_injector, "data_qp_hook", fault_injector
+            )
+            qp.corrupt_injector = getattr(fault_injector, "data_corrupt_hook", None)
+            qps.append(qp)
+        data = DataChannels(qps)
+        pool = BlockPool.build_source(
+            self.host, self.pd, cfg.source_blocks, cfg.block_size
+        )
+        sessions = ResourcePool(self.engine, cfg.pool_sessions)
+        hpool = HostChannelPool(self.host, data, send_cq, pool, sessions, cfg)
+        hpool.start()
+        self._host_pools[key] = hpool
+        pending.succeed(hpool)
+        return hpool
+
     def open_link(
         self,
         remote: "Device",
@@ -185,6 +315,31 @@ class RdmaMiddleware:
             ctrl_hook = getattr(fault_injector, "ctrl_hook", None)
             if ctrl_hook is not None:
                 ctrl.fault_hook = ctrl_hook
+            if cfg.use_srq:
+                # Shared data-plane: lease channels from the per-host QP
+                # pool instead of opening num_channels dedicated QPs and
+                # a dedicated block pool for this link.
+                hpool = yield from self._get_host_pool(
+                    remote, port, cfg, client_id, fault_injector
+                )
+                link = SourceLink(
+                    self.host,
+                    ctrl,
+                    hpool.data,
+                    hpool.send_cq,
+                    hpool.block_pool,
+                    cfg,
+                    host_pool=hpool,
+                )
+                link._ctrl_qp = ctrl_qp  # for RNR stats in outcomes
+                # A *copy*: reopen_channel appends to both link.data.qps
+                # and _data_qps; aliasing would double-register the QP.
+                link._data_qps = list(hpool.data.qps)
+                link._client_id = client_id
+                link._fault_injector = fault_injector
+                link.tcp_factory = tcp_factory
+                link._reopen = lambda: self.reopen_channel(link, remote, port, cfg)
+                return link
             data_send_cq = self.device.create_cq()
             data_recv_cq = self.device.create_cq()
             data_qps = []

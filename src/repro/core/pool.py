@@ -23,9 +23,86 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
     from repro.verbs.pd import ProtectionDomain
 
-__all__ = ["BlockPool"]
+__all__ = ["BlockPool", "ResourcePool"]
 
 BlockT = TypeVar("BlockT", SourceBlock, SinkBlock)
+
+
+class ResourcePool:
+    """Bounded lease accounting for a shared resource.
+
+    The host channel pool hands each session a *lease* on its shared
+    QPs/WQE budget instead of letting every session allocate dedicated
+    state.  Capacity is what the scheduler's door caps derive from
+    (real resources, not a config constant), and
+    :attr:`pinned_fraction` is the brownout watermark seam — the
+    srq-mode analogue of :attr:`BlockPool.occupancy`.
+
+    Leases are tracked per owner so a double release (an abort path
+    racing normal teardown) is idempotent rather than corrupting the
+    balance sheet.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int, name: str = "qp_pool") -> None:
+        if capacity < 1:
+            raise ValueError("ResourcePool capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self._owners: set = set()
+        reg = engine.metrics
+        labels = {"pool": reg.sequence(f"lease.{name}")}
+        self._m_leases = reg.counter("qp_pool.leases", **labels)
+        self._m_releases = reg.counter("qp_pool.releases", **labels)
+        self._m_rejected = reg.counter("qp_pool.lease_rejected", **labels)
+        reg.gauge_fn("qp_pool.leased", lambda: len(self._owners), **labels)
+        reg.gauge_fn("qp_pool.capacity", lambda: self.capacity, **labels)
+
+    @property
+    def leased(self) -> int:
+        """Leases currently outstanding."""
+        return len(self._owners)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self._owners)
+
+    @property
+    def pinned_fraction(self) -> float:
+        """Fraction of lease capacity in use, in [0, 1].
+
+        Brownout watches this in srq mode: each lease pins a share of
+        the pool's registered blocks and shared WQEs, so lease pressure
+        is the real pinned-memory pressure signal.
+        """
+        return len(self._owners) / self.capacity
+
+    def lease(self, owner) -> bool:
+        """Take one lease for ``owner``; False when the pool is full or
+        the owner already holds one (leases are per-owner, not counted)."""
+        if owner in self._owners:
+            return False
+        if len(self._owners) >= self.capacity:
+            self._m_rejected.add()
+            return False
+        self._owners.add(owner)
+        self._m_leases.add()
+        return True
+
+    def release(self, owner) -> bool:
+        """Return ``owner``'s lease; idempotent (False when not held)."""
+        if owner not in self._owners:
+            return False
+        self._owners.discard(owner)
+        self._m_releases.add()
+        return True
+
+    def holds(self, owner) -> bool:
+        return owner in self._owners
+
+    @property
+    def balanced(self) -> bool:
+        """No leases outstanding — the quiescence-leak invariant."""
+        return not self._owners
 
 
 class BlockPool(Generic[BlockT]):

@@ -85,6 +85,11 @@ class SinkEngine:
             "sink.active_sessions", lambda: len(self._expected_bytes), **labels
         )
         self._dataset_done_total: Dict[int, int] = {}
+        #: Sessions on the eager (SEND/RECV) transport: payload arrives
+        #: through the shared receive queue, so no credits are granted
+        #: for them — freeing their blocks must not advertise regions
+        #: nothing will ever write into.
+        self._eager_sessions: set = set()
         #: Succeeds per session once everything is consumed and acked;
         #: fails (defused) with :class:`StaleSessionReclaimed` when the GC
         #: reaps the session.
@@ -249,7 +254,12 @@ class SinkEngine:
             )
         elif msg.type is CtrlType.SESSION_REQ:
             assert self.granter is not None, "block size not negotiated"
-            total_bytes, marker_interval = msg.data
+            # Srq-mode sources append the eager-transport flag; the
+            # two-element shape is the unchanged rendezvous request.
+            if len(msg.data) == 3:
+                total_bytes, marker_interval, eager = msg.data
+            else:
+                (total_bytes, marker_interval), eager = msg.data, False
             if msg.session_id in self._expected_bytes:
                 # Duplicate from a retransmitting source: the session (and
                 # its initial grant) already exist — accept again but grant
@@ -290,6 +300,16 @@ class SinkEngine:
             if not self._gc_running:
                 self._gc_running = True
                 self.engine.process(self._gc_thread())
+            if eager:
+                # Eager sessions land via the shared receive queue; there
+                # is no region to advertise, so the grant is empty.
+                self._eager_sessions.add(msg.session_id)
+                yield from self.ctrl.send(
+                    thread,
+                    ControlMessage(CtrlType.SESSION_REP, msg.session_id, (True, ())),
+                )
+                return
+            self._eager_sessions.discard(msg.session_id)  # id reuse
             initial = tuple(self.granter.initial_grant(self.config.initial_credits))
             yield from self.ctrl.send(
                 thread,
@@ -376,24 +396,87 @@ class SinkEngine:
                     ),
                 )
             return
+        eager = header.session_id in self._eager_sessions
         if self.reassembly.reject_duplicate(header, payload):
             # A replay (or a resumed session re-sending data consumed
             # beyond the restart marker): the bytes are already accounted
             # for, so recycle the region straight away.
             block.revoke()
             self.pool.put_free_blk(block)
-            granted = self.granter.on_block_freed()
-            if granted:
-                yield from self._send_credits(thread, msg.session_id, granted)
+            if not eager or self.granter.pending_request:
+                granted = self.granter.on_block_freed()
+                if granted:
+                    yield from self._send_credits(thread, msg.session_id, granted)
             return
         block.finish(header, payload)
         self._m_delivered.add()
         for hdr, blk in self.reassembly.push(header, block):
             yield self._ready.put((hdr, blk))
-        granted = self.granter.on_block_done()
-        if granted:
-            yield from self._send_credits(thread, msg.session_id, granted)
+        # An eager session reaches here only through the rendezvous
+        # repair path (a NACKed block re-written into a one-off credit);
+        # granting replacements would advertise regions nothing writes
+        # into, slowly pinning the whole pool — unless a starved
+        # rendezvous sibling is owed a grant.
+        if not eager or self.granter.pending_request:
+            granted = self.granter.on_block_done()
+            if granted:
+                yield from self._send_credits(thread, msg.session_id, granted)
         yield from self._maybe_send_marker(thread, header.session_id)
+
+    def on_eager_block(self, thread, wire) -> Generator:
+        """One eager (SEND/RECV) arrival off the shared receive queue.
+
+        The middleware's SRQ dispatcher hands over the
+        :class:`~repro.core.messages.DataBlockWire` a SEND delivered;
+        header and payload arrive together, so there is no BLOCK_DONE and
+        no credit bookkeeping.  The payload is copied into a pool block
+        (which may wait for the writer threads — that wait, not credits,
+        is the eager path's flow control: the dispatcher does not repost
+        the consumed WQE until this returns, so a starved pool surfaces
+        as RNR backpressure on the wire).  A checksum mismatch repairs
+        over the *rendezvous* path: the NACK carries a one-off credit for
+        the block just claimed, and the source re-WRITEs into it.
+        """
+        header = wire.header
+        payload = wire.payload
+        sid = header.session_id
+        if self.pool is None or sid not in self._expected_bytes:
+            # Reclaimed or unknown session: the WQE was consumed but the
+            # payload has no home.  Counted, not fatal — like strays.
+            self._m_stray.add()
+            return
+        self._last_activity[sid] = self.engine.now
+        if self.reassembly.reject_duplicate(header, payload):
+            return  # no region was claimed; nothing to recycle
+        block = yield self.pool.get_free_blk()
+        block.advertise()  # FREE → WAITING: the region now owns this seq
+        if self.config.checksum_blocks and header.checksum != block_checksum(payload):
+            self._m_mismatches.add()
+            self.engine.trace(
+                "sink", "checksum_mismatch", session=sid, seq=header.seq
+            )
+            if self.config.block_repair:
+                self._m_nacks.add()
+                yield from self.ctrl.send(
+                    thread,
+                    ControlMessage(
+                        CtrlType.BLOCK_NACK,
+                        sid,
+                        (header.seq, Credit.for_block(block)),
+                    ),
+                )
+            else:
+                # No repair: withhold delivery (the session starves and
+                # dies typed, as on the rendezvous path) but return the
+                # region — it holds nothing.
+                block.revoke()
+                self.pool.put_free_blk(block)
+            return
+        block.finish(header, payload)
+        self._m_delivered.add()
+        for hdr, blk in self.reassembly.push(header, block):
+            yield self._ready.put((hdr, blk))
+        yield from self._maybe_send_marker(thread, sid)
 
     def _on_session_resume(self, thread, msg: ControlMessage) -> Generator:
         """SESSION_RESUME_REQ: re-attach a session at its restart marker.
@@ -471,6 +554,9 @@ class SinkEngine:
         self._fallback_done.pop(sid, None)
         self._fallback_resume_seq.pop(sid, None)
         self._restore_grants.pop(sid, None)
+        # A resumed session always rides rendezvous (the resume protocol
+        # is anchored on credits + restart markers).
+        self._eager_sessions.discard(sid)
         if not self._consumers_started:
             self._consumers_started = True
             for i in range(self.config.writer_threads):
@@ -571,6 +657,8 @@ class SinkEngine:
         self.reassembly.set_next_seq(sid, marker)
         self._resume_grants.pop(sid, None)
         self._restore_grants.pop(sid, None)
+        # Degraded transport is a byte stream: no eager SEND path.
+        self._eager_sessions.discard(sid)
         if not self._consumers_started:
             self._consumers_started = True
             for i in range(self.config.writer_threads):
@@ -826,9 +914,16 @@ class SinkEngine:
             )
             if header.session_id in self._expected_bytes:
                 self._last_activity[header.session_id] = self.engine.now
-            granted = self.granter.on_block_freed()
-            if granted:
-                yield from self._send_credits(thread, header.session_id, granted)
+            # Freed eager blocks go back to the pool, not out as credits
+            # (nothing would ever write into them) — except when a
+            # starved rendezvous sibling has a request outstanding.
+            if (
+                header.session_id not in self._eager_sessions
+                or self.granter.pending_request
+            ):
+                granted = self.granter.on_block_freed()
+                if granted:
+                    yield from self._send_credits(thread, header.session_id, granted)
             self._advance_written(header.session_id, header.seq)
             yield from self._maybe_finish(thread, header.session_id)
 
@@ -932,6 +1027,7 @@ class SinkEngine:
             self._fallback_done.pop(session_id, None)
             self._fallback_resume_seq.pop(session_id, None)
             self._accounting_epoch.pop(session_id, None)
+            self._eager_sessions.discard(session_id)
             self.reassembly.reclaim_session(session_id)  # drops the seq cursor
             self._retire(session_id)
             yield from self.ctrl.send(
@@ -1015,6 +1111,7 @@ class SinkEngine:
         self._fallback_streams.pop(session_id, None)
         self._fallback_done.pop(session_id, None)
         self._fallback_resume_seq.pop(session_id, None)
+        self._eager_sessions.discard(session_id)
         self._retire(session_id)
         done = self.session_done.get(session_id)
         if done is not None and not done.triggered:

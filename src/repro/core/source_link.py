@@ -99,6 +99,11 @@ class TransferJob:
         self.data_source = data_source
         self.block_size = link.config.block_size
         self.total_blocks = -(-total_bytes // self.block_size)
+        #: Eager transport (srq mode): blocks ride SEND/RECV on the shared
+        #: channels — no credits, no MR exchange, no BLOCK_DONE.  Decided
+        #: per session at :meth:`SourceLink.transfer`; rendezvous (RDMA
+        #: WRITE against credited regions) stays the default.
+        self.eager = False
         #: First block this incarnation sends.  0 for a fresh session; a
         #: resumed session starts at the sink's restart marker and never
         #: re-reads (or re-sends) the prefix below it.
@@ -222,13 +227,25 @@ class SourceLink:
         data_send_cq: CompletionQueue,
         pool: BlockPool[SourceBlock],
         config: ProtocolConfig,
+        host_pool=None,
     ) -> None:
         self.host = host
         self.engine: "Engine" = host.engine
         self.ctrl = ctrl
         self.data = data
         self.data_send_cq = data_send_cq
-        self.data_cc = CompletionChannel(data_send_cq)
+        #: Shared :class:`~repro.core.channels.HostChannelPool` this link
+        #: rides (srq mode), or ``None`` for the dedicated-QP protocol.
+        #: A pooled link does not own the send CQ: the pool's dispatcher
+        #: holds the only completion channel and routes completions into
+        #: ``_wc_inbox`` by wr_id.
+        self._host_pool = host_pool
+        if host_pool is None:
+            self.data_cc = CompletionChannel(data_send_cq)
+            self._wc_inbox = None
+        else:
+            self.data_cc = None
+            self._wc_inbox = Store(self.engine)
         self.pool = pool
         self.config = config
         self.ledger = CreditLedger(self.engine)
@@ -265,9 +282,12 @@ class SourceLink:
         #: traffic; survives detach/adopt so a flapping QP that comes
         #: back keeps its quarantine history.
         self._breakers: Dict[int, ChannelBreaker] = {}
-        data.breaker_lookup = self._breaker_for
+        if host_pool is None:
+            data.breaker_lookup = self._breaker_for
         self._hb_running = False
-        self._wr_ids = itertools.count()
+        #: Pooled links draw wr_ids from the pool-wide space (the shared
+        #: send CQ needs collision-free routing across links).
+        self._wr_ids = itertools.count() if host_pool is None else host_pool.wr_ids
         #: wr_id -> (job, block, credit, failed_attempts, is_repair).
         self._inflight: Dict[
             int, Tuple[TransferJob, SourceBlock, Credit, int, bool]
@@ -325,6 +345,10 @@ class SourceLink:
         return int(self._m_repromotions.total)
 
     def _breaker_for(self, qp_num: int) -> ChannelBreaker:
+        if self._host_pool is not None:
+            # Shared QPs carry every rider's traffic, so quarantine
+            # history lives at the pool, not per link.
+            return self._host_pool.breaker_for(qp_num)
         breaker = self._breakers.get(qp_num)
         if breaker is None:
             breaker = ChannelBreaker(
@@ -332,6 +356,24 @@ class SourceLink:
             )
             self._breakers[qp_num] = breaker
         return breaker
+
+    def _new_wr_id(self) -> int:
+        """Allocate a wr_id, registering the completion route when the
+        send CQ is shared (pooled links)."""
+        wr_id = next(self._wr_ids)
+        if self._host_pool is not None:
+            self._host_pool.routes[wr_id] = self
+        return wr_id
+
+    def _release_lease(self, job: TransferJob) -> None:
+        """Return the session's channel lease to the host pool.
+
+        Idempotent, and the single choke point for every way a session
+        ends — normal completion, abort (cancel, deadline, watchdog,
+        crash) — so leases cannot leak through any teardown path.
+        """
+        if self._host_pool is not None:
+            self._host_pool.sessions.release(job)
 
     def _start_shared_threads(self) -> None:
         if not self._started:
@@ -364,6 +406,23 @@ class SourceLink:
         job = TransferJob(self, session_id, total_bytes, data_source)
         if session_id in self.jobs:
             raise ValueError(f"session {session_id} already active on this link")
+        if self._host_pool is not None:
+            if not self._host_pool.sessions.lease(job):
+                raise ValueError(
+                    f"session {session_id}: host pool at lease capacity"
+                    f" ({self._host_pool.sessions.capacity} sessions)"
+                )
+            # Eager iff every payload this session sends fits under the
+            # negotiated threshold — a sub-threshold dataset, or one whose
+            # negotiated block size is already that small.  The decision
+            # is per *session* so the sink's credit machinery is either
+            # fully engaged or fully bypassed; mixing per-block would let
+            # eager arrivals starve while credits pin every free block.
+            cfg = self.config
+            job.eager = (
+                cfg.eager_threshold > 0
+                and min(cfg.block_size, total_bytes) <= cfg.eager_threshold
+            )
         self.jobs[session_id] = job
         self._active_jobs += 1
         self._start_shared_threads()
@@ -403,6 +462,14 @@ class SourceLink:
         job = TransferJob(self, session_id, total_bytes, data_source)
         if session_id in self.jobs:
             raise ValueError(f"session {session_id} already active on this link")
+        if self._host_pool is not None and not self._host_pool.sessions.lease(job):
+            raise ValueError(
+                f"session {session_id}: host pool at lease capacity"
+                f" ({self._host_pool.sessions.capacity} sessions)"
+            )
+        # A resumed session always rides rendezvous: the sink re-anchors
+        # it with a fresh credit grant, and the restart marker already
+        # paid the MR-exchange cost eager exists to avoid.
         self.jobs[session_id] = job
         self._active_jobs += 1
         self._start_shared_threads()
@@ -509,6 +576,7 @@ class SourceLink:
         job.error = exc
         self.jobs.pop(job.session_id, None)
         self._active_jobs -= 1
+        self._release_lease(job)
         while job._loaded.items:
             blk = job._loaded.items.popleft()
             if blk is None:
@@ -657,9 +725,17 @@ class SourceLink:
                     job, NegotiationTimeout(sid, "sink rejected channel count")
                 )
                 return
+        # Eager sessions advertise the transport in the request so the
+        # sink skips the initial credit grant; the wire shape for
+        # rendezvous sessions is unchanged (bit-identical non-srq runs).
+        session_req = (
+            (job.total_bytes, self._marker_interval(), True)
+            if job.eager
+            else (job.total_bytes, self._marker_interval())
+        )
         reply = yield from self._request_reply(
             thread, job,
-            CtrlType.SESSION_REQ, (job.total_bytes, self._marker_interval()),
+            CtrlType.SESSION_REQ, session_req,
             CtrlType.SESSION_REP,
         )
         if reply is None:
@@ -773,10 +849,15 @@ class SourceLink:
             if job.halted:
                 self._recycle(block)
                 return
-            credit = yield from self._acquire_credit(thread, job)
-            if credit is None:
-                self._recycle(block)
-                return
+            if job.eager:
+                # Eager transport: the shared receive queue at the sink
+                # is the landing buffer — no credit to acquire.
+                credit = None
+            else:
+                credit = yield from self._acquire_credit(thread, job)
+                if credit is None:
+                    self._recycle(block)
+                    return
             if job.halted:
                 if job.fallback_active and not job.aborted:
                     # Degrading to TCP: the sink revokes every RDMA
@@ -788,7 +869,7 @@ class SourceLink:
                 return
             assert block.header is not None
             block.sending()
-            wr_id = next(self._wr_ids)
+            wr_id = self._new_wr_id()
             self._inflight[wr_id] = (job, block, credit, 0, False)
             job._post_times[wr_id] = self.engine.now
             ok = yield from self._post_block(thread, job, block, credit, wr_id)
@@ -803,11 +884,18 @@ class SourceLink:
         been reclaimed)."""
         assert block.header is not None
         try:
-            yield from self.data.post_write(
-                thread, block, credit, block.header, wr_id=wr_id
-            )
+            if credit is None:  # eager transport (srq mode)
+                yield from self.data.post_send_block(
+                    thread, block, block.header, wr_id
+                )
+            else:
+                yield from self.data.post_write(
+                    thread, block, credit, block.header, wr_id=wr_id
+                )
         except NoLiveChannelError:
             self._inflight.pop(wr_id, None)
+            if self._host_pool is not None:
+                self._host_pool.routes.pop(wr_id, None)
             job._post_times.pop(wr_id, None)
             if job.fallback_active or self._begin_fallback(job):
                 # Degrading to TCP: the sink revokes every RDMA region
@@ -827,8 +915,13 @@ class SourceLink:
     def _completion_thread(self) -> Generator:
         thread = self.host.thread("src-completion", "app")
         while True:
-            yield self.data_cc.wait(thread)
-            wcs = yield self.data_send_cq.poll(thread, max_entries=64)
+            if self._wc_inbox is not None:
+                # Pooled link: the host pool's dispatcher owns the shared
+                # CQ and routes this link's completions here by wr_id.
+                wcs = [(yield self._wc_inbox.get())]
+            else:
+                yield self.data_cc.wait(thread)
+                wcs = yield self.data_send_cq.poll(thread, max_entries=64)
             for wc in wcs:
                 job, block, credit, attempts, is_repair = self._inflight.pop(wc.wr_id)
                 posted_at = job._post_times.pop(wc.wr_id, None)
@@ -863,14 +956,20 @@ class SourceLink:
                     job._m_latency.observe(latency)
                 if wc.ok:
                     assert block.header is not None
-                    yield from self.ctrl.send(
-                        thread,
-                        ControlMessage(
-                            CtrlType.BLOCK_DONE,
-                            job.session_id,
-                            (credit.block_id, block.header),
-                        ),
-                    )
+                    if credit is not None:
+                        yield from self.ctrl.send(
+                            thread,
+                            ControlMessage(
+                                CtrlType.BLOCK_DONE,
+                                job.session_id,
+                                (credit.block_id, block.header),
+                            ),
+                        )
+                    # Eager (credit is None): the SEND delivered header
+                    # and payload together — there is no region to name,
+                    # so no BLOCK_DONE rides the control QP.  Everything
+                    # below (marker bookkeeping, the repair hold, dataset
+                    # completion) applies to both transports.
                     # Restart markers ack this send later; remember when
                     # it left (Karn: a re-sent seq becomes ambiguous and
                     # is struck from the sample book).
@@ -925,7 +1024,7 @@ class SourceLink:
                     job._count_resend()
                     block.resend()
                     block.sending()
-                    wr_id = next(self._wr_ids)
+                    wr_id = self._new_wr_id()
                     self._inflight[wr_id] = (job, block, credit, attempts, is_repair)
                     job._post_times[wr_id] = self.engine.now
                     yield from self._post_block(thread, job, block, credit, wr_id)
@@ -1064,6 +1163,7 @@ class SourceLink:
                 if msg.type is CtrlType.DATASET_DONE_ACK:
                     job.finished_at = self.engine.now
                     self._active_jobs -= 1
+                    self._release_lease(job)
                     # The final cumulative ack: every repair copy is covered.
                     for seq in list(job.unacked):
                         blk = job.unacked.pop(seq)
@@ -1136,7 +1236,7 @@ class SourceLink:
         block.nacked()  # WAITING → NACKED (Fig. 6 extension)
         block.reload()  # NACKED → LOADED: the local copy is still valid
         block.sending()
-        wr_id = next(self._wr_ids)
+        wr_id = self._new_wr_id()
         self._inflight[wr_id] = (job, block, credit, 0, True)
         job._post_times[wr_id] = self.engine.now
         yield from self._post_block(thread, job, block, credit, wr_id)

@@ -220,6 +220,13 @@ class RftpDoor:
                     fault_injector=self.fault_injector,
                     tcp_factory=self.tcp_factory,
                 )
+                hp = getattr(self.link, "_host_pool", None)
+                if hp is not None:
+                    # Pooled link: the session cap is the host pool's real
+                    # lease capacity, not the configured constant.  Every
+                    # door on this (host, port) shares that one pool, so
+                    # admissible() below also checks live availability.
+                    self.max_sessions = hp.sessions.capacity
             return self.link
 
         return mw.engine.process(_open())
@@ -244,6 +251,12 @@ class RftpDoor:
     def admissible(self, now: float, session_cap: Optional[int] = None) -> bool:
         cap = self.max_sessions if session_cap is None else session_cap
         if self.link is None or self.active >= cap:
+            return False
+        hp = getattr(self.link, "_host_pool", None)
+        if hp is not None and hp.sessions.available <= 0:
+            # Doors to the same (host, port) share one host pool; the
+            # per-door cap alone could oversubscribe it and trip the
+            # synchronous lease-capacity error inside transfer().
             return False
         if self.breaker is not None and not self.breaker.peek_admit(now):
             return False
@@ -367,6 +380,9 @@ class TransferBroker:
         #: Destination path -> live (non-terminal) primary task, for dedupe.
         self._dest_owner: Dict[str, FileTask] = {}
         self._active = 0
+        #: High-water mark of concurrent active transfers over the
+        #: broker's lifetime (the sessions-per-host capacity metric).
+        self.peak_active = 0
         self._outstanding = 0  #: non-terminal primary tasks
         self._loop_running = False
         self._wake: Optional[Event] = None
@@ -636,6 +652,15 @@ class TransferBroker:
                         TransferCanceled(task.last_session, reason),
                     )
         job._note_progress()
+        # Purge the canceled entries from the tenant's heap now.  The
+        # dispatch loop skips terminal entries lazily, but it only runs
+        # while work is outstanding — a cancellation that empties the
+        # broker would otherwise strand the stale entries in the queue
+        # (flagged by the quiescence audit).
+        state = self._tenants.get(job.tenant)
+        if state is not None and any(e[2].state.terminal for e in state.queue):
+            state.queue = [e for e in state.queue if not e[2].state.terminal]
+            heapq.heapify(state.queue)
         for j in affected.values():
             self._finish_job(j)
         self.engine.trace(
@@ -704,6 +729,23 @@ class TransferBroker:
                 else door.admissible(now, session_cap=cap)
             )
             if admissible:
+                hp = getattr(door.link, "_host_pool", None)
+                if hp is not None:
+                    # Dispatched-but-unfinished tasks on EVERY door
+                    # sharing this host pool each hold (or are about to
+                    # take, synchronously at transfer start) one channel
+                    # lease.  door.active is bumped at dispatch, before
+                    # the task's process first runs, so this aggregate
+                    # cannot race the way the pool's own live lease
+                    # count can — per-door caps alone oversubscribe the
+                    # shared pool and trip the lease-capacity error.
+                    inflight = sum(
+                        d.active for d in self.doors.values()
+                        if getattr(d.link, "_host_pool", None) is hp
+                    )
+                    if inflight >= hp.sessions.capacity:
+                        admissible = False
+            if admissible:
                 if i:
                     task.alt_cursor = (task.alt_cursor + i) % n
                 return door
@@ -766,6 +808,8 @@ class TransferBroker:
                 state.pass_value += 1.0 / state.policy.weight
                 state.inflight += 1
                 self._active += 1
+                if self._active > self.peak_active:
+                    self.peak_active = self._active
                 door.active += 1
                 task.state = FileState.READY
                 self.engine.process(self._run_task(task, state, door))
@@ -1166,6 +1210,8 @@ class TransferBroker:
                     )
                 state.inflight += 1
                 self._active += 1
+                if self._active > self.peak_active:
+                    self.peak_active = self._active
                 door.active += 1
                 if cfg.watchdog:
                     self.engine.process(

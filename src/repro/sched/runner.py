@@ -17,7 +17,7 @@ Besides the happy path, the runner owns the durability harness:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps.io import CollectingSink, PatternSource, ZeroSource
@@ -323,6 +323,18 @@ def quiescence_leaks(result: "SchedResult") -> List[str]:
             leaks.append(
                 f"dest owner for {path!r} non-terminal ({task.state.value})"
             )
+    seen_pools: set = set()
+    for name, door in sorted(broker.doors.items()):
+        hp = getattr(door.link, "_host_pool", None)
+        if hp is None or id(hp) in seen_pools:
+            continue  # dedicated-QP door, or a pool already audited
+        # Doors to the same (host, port) share one pool: audit it once.
+        seen_pools.add(id(hp))
+        if not hp.sessions.balanced:
+            leaks.append(
+                f"host pool via {name}: {hp.sessions.leased} channel "
+                f"leases never returned"
+            )
     server = result.server
     if server is not None:
         history_cap = server.config.sink_session_history
@@ -386,6 +398,10 @@ def run_sched(
     testbed = TESTBEDS[testbed_name](seed=seed)
     engine = testbed.engine
     cfg = config or ProtocolConfig()
+    if config is None and bool(spec.get("use_srq", False)):
+        # The spec's connection-scaling switch only fills in when the
+        # caller didn't hand us an explicit ProtocolConfig.
+        cfg = replace(cfg, use_srq=True)
 
     injector = None
     if not recovering and spec.get("faults"):

@@ -80,6 +80,8 @@ def validate_spec(spec: Dict[str, Any]) -> None:
         raise ValueError("'watchdog' must be a boolean")
     if not isinstance(spec.get("checkpoint_compact", False), bool):
         raise ValueError("'checkpoint_compact' must be a boolean")
+    if not isinstance(spec.get("use_srq", False), bool):
+        raise ValueError("'use_srq' must be a boolean")
     drain_at = spec.get("drain_at")
     if drain_at is not None and (
         not isinstance(drain_at, (int, float)) or drain_at <= 0

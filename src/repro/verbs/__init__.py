@@ -25,10 +25,16 @@ from repro.verbs.arch import ArchProfile, RdmaArch
 from repro.verbs.cm import ConnectionManager, RdmaFabric
 from repro.verbs.cq import CompletionChannel, CompletionQueue
 from repro.verbs.device import Device
-from repro.verbs.errors import QpStateError, RemoteAccessError, VerbsError
+from repro.verbs.errors import (
+    CqOverflowError,
+    QpStateError,
+    RemoteAccessError,
+    VerbsError,
+)
 from repro.verbs.mr import AccessFlags, MemoryRegion
 from repro.verbs.pd import ProtectionDomain
 from repro.verbs.qp import QpState, QpType, QueuePair, connect_pair
+from repro.verbs.srq import SharedReceiveQueue
 from repro.verbs.wr import Opcode, RecvWR, SendWR, WcStatus, WorkCompletion
 
 __all__ = [
@@ -37,6 +43,7 @@ __all__ = [
     "CompletionChannel",
     "CompletionQueue",
     "ConnectionManager",
+    "CqOverflowError",
     "Device",
     "MemoryRegion",
     "Opcode",
@@ -50,6 +57,7 @@ __all__ = [
     "RecvWR",
     "RemoteAccessError",
     "SendWR",
+    "SharedReceiveQueue",
     "VerbsError",
     "WcStatus",
     "WorkCompletion",

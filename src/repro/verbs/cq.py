@@ -14,6 +14,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, List, Optional
 
 from repro.sim.events import Event, Timeout
+from repro.verbs.errors import CqOverflowError
 from repro.verbs.wr import WorkCompletion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,13 +42,21 @@ class CompletionQueue:
 
     # -- producer side (called by QPs / NIC logic) -----------------------------
     def push(self, wc: WorkCompletion) -> None:
-        """Add a completion; notify any armed channel."""
+        """Add a completion; notify any armed channel.
+
+        Raises :class:`~repro.verbs.errors.CqOverflowError` when the CQ
+        is already full — an overflow means the run mis-sized its
+        queues, and the old silent drop turned that into an undebuggable
+        hang.  The ``cq.overflow`` counter is registered lazily so a
+        healthy run's metrics export is untouched.
+        """
         wc.timestamp = self.engine.now
         if len(self._entries) >= self.depth:
-            # Real hardware moves the QP to error on CQ overrun; we record
-            # and drop, which tests assert never happens in healthy runs.
             self.overflows += 1
-            return
+            self.engine.metrics.counter("cq.overflow").add()
+            raise CqOverflowError(
+                f"CQ depth {self.depth} exceeded (wr_id={wc.wr_id})"
+            )
         self._entries.append(wc)
         if self.channel is not None:
             self.channel._notify()

@@ -6,6 +6,7 @@ __all__ = [
     "VerbsError",
     "QpStateError",
     "QueueFullError",
+    "CqOverflowError",
     "RemoteAccessError",
     "MtuExceededError",
 ]
@@ -21,6 +22,14 @@ class QpStateError(VerbsError):
 
 class QueueFullError(VerbsError):
     """Posting would exceed the queue's configured depth."""
+
+
+class CqOverflowError(VerbsError):
+    """A completion arrived at a CQ that is already full.
+
+    Real hardware moves the QP to error on CQ overrun; a simulated run
+    that overflows a CQ has mis-sized its queues, so the push site
+    raises instead of silently dropping the completion."""
 
 
 class RemoteAccessError(VerbsError):

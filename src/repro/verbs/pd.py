@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.hardware.memory import MemoryBuffer
 from repro.verbs.mr import AccessFlags, MemoryRegion
@@ -11,6 +11,7 @@ from repro.verbs.mr import AccessFlags, MemoryRegion
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.cpu import CpuThread
     from repro.verbs.device import Device
+    from repro.verbs.srq import SharedReceiveQueue
 
 __all__ = ["ProtectionDomain"]
 
@@ -25,6 +26,7 @@ class ProtectionDomain:
         self.handle = next(_pd_handles)
         self._key_seq = itertools.count(0x1000)
         self._regions: Dict[int, MemoryRegion] = {}  # by rkey
+        self.srqs: List["SharedReceiveQueue"] = []
 
     def reg_mr(
         self,
@@ -69,6 +71,16 @@ class ProtectionDomain:
         )
         self._regions[mr.rkey] = mr
         return mr
+
+    def create_srq(self, depth: int = 4096) -> "SharedReceiveQueue":
+        """Create a shared receive queue scoped to this domain; every QP
+        attached to it must be created in the same PD."""
+        from repro.verbs.srq import SharedReceiveQueue
+
+        return SharedReceiveQueue(self, depth)
+
+    def _admit_srq(self, srq: "SharedReceiveQueue") -> None:
+        self.srqs.append(srq)
 
     def dereg_mr(self, mr: MemoryRegion) -> None:
         """Deregister: removes remote access rights immediately."""

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.verbs.cq import CompletionQueue
     from repro.verbs.device import Device
     from repro.verbs.pd import ProtectionDomain
+    from repro.verbs.srq import SharedReceiveQueue
 
 __all__ = ["QpType", "QpState", "QueuePair", "connect_pair"]
 
@@ -82,9 +83,12 @@ class QueuePair:
         max_ord: Optional[int] = None,
         rnr_retry: int = RNR_RETRY_INFINITE,
         rnr_timer: float = 0.12e-3,
+        srq: Optional["SharedReceiveQueue"] = None,
     ) -> None:
         if max_send_wr < 1 or max_recv_wr < 1:
             raise ValueError("queue depths must be >= 1")
+        if srq is not None and srq.pd is not pd:
+            raise QpStateError("SRQ and QP must share a protection domain")
         self.device = device
         self.engine = device.engine
         self.qp_num = qp_num
@@ -106,6 +110,9 @@ class QueuePair:
         self.path: Optional["Path"] = None  # self -> peer
         self.rpath: Optional["Path"] = None  # peer -> self
 
+        #: Shared receive queue; when set, arrivals draw WQEs from it
+        #: instead of the per-QP receive queue (which stays unused).
+        self.srq = srq
         self._recv_queue: Deque[RecvWR] = deque()
         self._outstanding_sends = 0
         self._ssn = 0  # send sequence number (post order)
@@ -144,6 +151,10 @@ class QueuePair:
     # -- receive side ---------------------------------------------------------------
     def post_recv(self, wr: RecvWR) -> None:
         """Queue a receive buffer (no timing; CPU cost charged by caller)."""
+        if self.srq is not None:
+            # Real verbs reject per-QP receives on an SRQ-attached QP;
+            # receive provisioning happens once, on the shared queue.
+            raise QpStateError("QP uses an SRQ: post receives on the SRQ")
         if self.state in (QpState.RESET, QpState.ERROR):
             raise QpStateError(f"post_recv in state {self.state.value}")
         if len(self._recv_queue) >= self.max_recv_wr:
@@ -152,8 +163,31 @@ class QueuePair:
 
     @property
     def recv_posted(self) -> int:
-        """Number of receive WRs currently posted."""
+        """Number of receive WRs currently posted (shared WQEs when an
+        SRQ is attached)."""
+        if self.srq is not None:
+            return self.srq.recv_posted
         return len(self._recv_queue)
+
+    def _has_recv(self) -> bool:
+        """Is a receive WQE available for an arriving message?
+
+        Consults the SRQ when attached; counts a dry shared queue on the
+        SRQ's accounting.  Pure equivalent of ``bool(self._recv_queue)``
+        when no SRQ is attached.
+        """
+        if self.srq is not None:
+            if self.srq.recv_posted:
+                return True
+            self.srq._note_empty()
+            return False
+        return bool(self._recv_queue)
+
+    def _take_recv(self) -> RecvWR:
+        """Consume the next receive WQE (shared when an SRQ is attached)."""
+        if self.srq is not None:
+            return self.srq._take()
+        return self._recv_queue.popleft()
 
     # -- send side --------------------------------------------------------------
     @property
@@ -233,7 +267,7 @@ class QueuePair:
                 # Unreliable: local completion as soon as it is on the wire.
                 peer._deliver_datagram(wr)
                 return WcStatus.SUCCESS
-            if peer._recv_queue:
+            if peer._has_recv():
                 break
             # Receiver Not Ready: NAK travels back, wait RNR timer, retry.
             self.rnr_naks.add()
@@ -242,7 +276,7 @@ class QueuePair:
                 return WcStatus.RNR_RETRY_EXC_ERR
             yield from self.rpath.deliver_latency()
             yield self.engine.timeout(self.rnr_timer)
-        rwr = peer._recv_queue.popleft()
+        rwr = peer._take_recv()
         if wr.length > rwr.length:
             return WcStatus.LOC_LEN_ERR
         yield from peer.device.nic.dma_place(wr.length)
@@ -286,13 +320,13 @@ class QueuePair:
                 payload = tampered
         target.place(wr.remote_addr, payload)
         if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
-            if not peer._recv_queue:
+            if not peer._has_recv():
                 # Immediate data consumes a receive WR; RNR applies.
                 self.rnr_naks.add()
                 yield from self.rpath.deliver_latency()
                 yield self.engine.timeout(self.rnr_timer)
                 return (yield from self._do_write(wr, nic, peer))
-            rwr = peer._recv_queue.popleft()
+            rwr = peer._take_recv()
             peer.recv_cq.push(
                 WorkCompletion(
                     wr_id=rwr.wr_id,
@@ -330,10 +364,10 @@ class QueuePair:
 
     # -- UD delivery -----------------------------------------------------------------
     def _deliver_datagram(self, wr: SendWR) -> None:
-        if not self._recv_queue:
+        if not self._has_recv():
             self.ud_drops.add()
             return
-        rwr = self._recv_queue.popleft()
+        rwr = self._take_recv()
         self.recv_cq.push(
             WorkCompletion(
                 wr_id=rwr.wr_id,
@@ -363,7 +397,9 @@ class QueuePair:
         if self.state is QpState.ERROR:
             return
         self.state = QpState.ERROR
-        # Flush posted receives.
+        # Flush posted receives.  Shared WQEs are deliberately *not*
+        # flushed: an SRQ outlives any one attached QP and keeps serving
+        # the survivors (matching ibv_srq semantics).
         while self._recv_queue:
             rwr = self._recv_queue.popleft()
             self.recv_cq.push(

@@ -128,13 +128,24 @@ def test_cq_empty_poll_costs_little():
     )
 
 
-def test_cq_overflow_counted():
+def test_cq_overflow_raises_typed_error():
+    from repro.verbs.errors import CqOverflowError
+
     f = make_fabric()
     cq = f.dev_a.create_cq(depth=2)
-    for i in range(5):
+    for i in range(2):
         cq.push(_wc(i))
+    for i in range(2, 5):
+        with pytest.raises(CqOverflowError):
+            cq.push(_wc(i))
     assert len(cq) == 2
     assert cq.overflows == 3
+    counter = f.engine.metrics.get("cq.overflow")
+    assert counter is not None and counter.total == 3
+    # The counter is lazy: a healthy run never registers the family.
+    f2 = make_fabric()
+    f2.dev_a.create_cq(depth=2).push(_wc(0))
+    assert f2.engine.metrics.get("cq.overflow") is None
 
 
 def test_completion_channel_wakes_on_push():
